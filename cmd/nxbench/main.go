@@ -1,0 +1,92 @@
+// nxbench regenerates the paper's tables and figures (§IV) on scaled
+// stand-in datasets. Each experiment prints a text table whose rows
+// mirror the corresponding paper artifact; EXPERIMENTS.md records the
+// paper-reported values alongside.
+//
+// Usage:
+//
+//	nxbench -exp all
+//	nxbench -exp table4,fig7 -scale-delta -2 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nxgraph/internal/bench"
+	"nxgraph/internal/metrics"
+)
+
+func main() {
+	var (
+		exps       = flag.String("exp", "all", "comma-separated: table2,fig6,table4,fig7,fig8,fig9,fig10,fig11,fig12,table5,table6 or 'all'")
+		scaleDelta = flag.Int("scale-delta", 0, "dataset scale adjustment (negative shrinks)")
+		threads    = flag.Int("threads", 4, "worker threads")
+		iters      = flag.Int("iters", 10, "PageRank iterations")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	s := bench.NewSuite()
+	s.ScaleDelta = *scaleDelta
+	s.Threads = *threads
+	s.PageRankIters = *iters
+	s.Seed = *seed
+	if !*quiet {
+		s.Log = os.Stderr
+	}
+	defer s.Close()
+
+	want := map[string]bool{}
+	all := *exps == "all"
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return all || want[name] }
+
+	show := func(t *metrics.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nxbench:", err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if sel("table2") {
+		show(s.TableII(), nil)
+	}
+	if sel("fig6") {
+		show(s.Fig6(12), nil)
+	}
+	if sel("table4") {
+		show(s.Table4())
+	}
+	if sel("fig7") {
+		show(s.Fig7(nil))
+	}
+	if sel("fig8") {
+		show(s.Fig8(nil, nil))
+	}
+	if sel("fig9") {
+		show(s.Fig9(nil))
+	}
+	if sel("fig10") {
+		show(s.Fig10(nil))
+	}
+	if sel("fig11") {
+		show(s.Fig11())
+	}
+	if sel("fig12") {
+		show(s.Fig12())
+	}
+	if sel("table5") {
+		show(s.Table5())
+	}
+	if sel("table6") {
+		show(s.Table6())
+	}
+}

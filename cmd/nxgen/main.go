@@ -1,0 +1,77 @@
+// nxgen generates synthetic graphs as text edge lists.
+//
+// Usage:
+//
+//	nxgen -kind rmat -scale 20 -edgefactor 16 -out twitter-like.txt
+//	nxgen -kind mesh -rows 1024 -cols 1024 -out road-like.txt
+//	nxgen -preset twitter -out twitter-small.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "rmat", "generator: rmat | mesh | uniform")
+		preset     = flag.String("preset", "", "dataset preset (livejournal, twitter, yahoo, delaunay_n20..n24); overrides -kind")
+		scale      = flag.Int("scale", 16, "log2 vertex count (rmat, uniform)")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (rmat, uniform)")
+		rows       = flag.Int("rows", 256, "mesh rows")
+		cols       = flag.Int("cols", 256, "mesh cols")
+		seed       = flag.Int64("seed", 42, "PRNG seed")
+		weighted   = flag.Bool("weighted", false, "attach uniform random weights")
+		scaleDelta = flag.Int("scale-delta", 0, "preset scale adjustment")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		g   *graph.EdgeList
+		err error
+	)
+	switch {
+	case *preset != "":
+		g, err = gen.FromPreset(*preset, *scaleDelta, *seed)
+	case *kind == "rmat":
+		cfg := gen.DefaultRMAT(*scale, *edgeFactor, *seed)
+		cfg.Weighted = *weighted
+		g, err = gen.RMAT(cfg)
+	case *kind == "mesh":
+		g, err = gen.Mesh(*rows, *cols, *seed)
+	case *kind == "uniform":
+		n := uint32(1) << uint(*scale)
+		g, err = gen.Uniform(n, int64(n)*int64(*edgeFactor), *seed)
+	default:
+		err = fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nxgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	edges := make([]graph.IndexEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = graph.IndexEdge{Src: uint64(e.Src), Dst: uint64(e.Dst), Weight: e.Weight}
+	}
+	if err := graph.WriteEdgeText(w, edges, g.Weighted); err != nil {
+		fmt.Fprintln(os.Stderr, "nxgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "nxgen: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
+}

@@ -1,0 +1,95 @@
+// Components: connectivity structure of a directed graph — weakly and
+// strongly connected components (the paper's Exp 7 workloads) on a graph
+// engineered to contain both a giant SCC and peripheral DAG structure,
+// i.e. a miniature web-graph "bow-tie".
+//
+//	go run ./examples/components
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	nxgraph "nxgraph"
+)
+
+func main() {
+	// Core: a random strongly-connected-ish RMAT region; periphery: IN
+	// and OUT chains hanging off it.
+	core, err := nxgraph.Generate(nxgraph.RMAT(12, 16, 9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := core.NumVertices
+	g := &nxgraph.EdgeList{NumVertices: n + 2000}
+	g.Edges = append(g.Edges, core.Edges...)
+	// Close the core into one SCC with a Hamiltonian-ish cycle over a
+	// sample, then attach an IN-tree and an OUT-tree.
+	for v := uint32(0); v < n; v += 64 {
+		g.Edges = append(g.Edges, nxgraph.Edge{Src: v, Dst: (v + 64) % n, Weight: 1})
+	}
+	for k := uint32(0); k < 1000; k++ {
+		g.Edges = append(g.Edges,
+			nxgraph.Edge{Src: n + k, Dst: k % n, Weight: 1},              // IN → core
+			nxgraph.Edge{Src: (k * 7) % n, Dst: n + 1000 + k, Weight: 1}) // core → OUT
+	}
+
+	dir := filepath.Join(os.TempDir(), "nxgraph-components")
+	defer os.RemoveAll(dir)
+	gr, err := nxgraph.Build(dir, g, nxgraph.Options{P: 8, Transpose: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gr.Close()
+	fmt.Printf("web-like graph: %d vertices, %d edges\n", gr.NumVertices(), gr.NumEdges())
+
+	wcc, err := gr.WCC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wsizes := map[uint32]int{}
+	for _, l := range wcc.Attrs {
+		wsizes[uint32(l)]++
+	}
+	fmt.Printf("wcc: %d weak components in %d iterations (%s)\n",
+		len(wsizes), wcc.Iterations, wcc.Elapsed.Round(1e6))
+
+	scc, err := gr.SCC()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssizes := map[uint32]int{}
+	for _, c := range scc.Components {
+		ssizes[c]++
+	}
+	sizes := make([]int, 0, len(ssizes))
+	for _, s := range ssizes {
+		sizes = append(sizes, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	fmt.Printf("scc: %d strong components in %d rounds / %d engine iterations (%s)\n",
+		len(ssizes), scc.Rounds, scc.Iterations, scc.Elapsed.Round(1e6))
+	fmt.Printf("largest SCCs: %v\n", sizes[:min(5, len(sizes))])
+	fmt.Printf("bow-tie: giant SCC holds %.1f%% of vertices; %d singleton SCCs (IN/OUT periphery)\n",
+		100*float64(sizes[0])/float64(gr.NumVertices()), countOnes(sizes))
+}
+
+func countOnes(sizes []int) int {
+	c := 0
+	for _, s := range sizes {
+		if s == 1 {
+			c++
+		}
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Roadnet: traversal workloads on a planar, high-diameter mesh — the
+// graph class the paper's delaunay_n20..n24 benchmarks represent. Runs
+// BFS (hop distance) and weighted SSSP (travel time) from a depot vertex
+// and reports reachability structure, demonstrating interval activity
+// tracking on targeted queries.
+//
+//	go run ./examples/roadnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	nxgraph "nxgraph"
+)
+
+func main() {
+	// A 256×256 triangulated grid ≈ a metro road network. Weighted
+	// edges model segment travel times.
+	g, err := nxgraph.Generate(nxgraph.Mesh(256, 256, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range g.Edges {
+		// Deterministic pseudo-random travel time in [1, 10).
+		h := uint64(g.Edges[i].Src)*2654435761 + uint64(g.Edges[i].Dst)*40503
+		g.Edges[i].Weight = 1 + float32(h%9000)/1000
+	}
+	g.Weighted = true
+
+	dir := filepath.Join(os.TempDir(), "nxgraph-roadnet")
+	defer os.RemoveAll(dir)
+	gr, err := nxgraph.Build(dir, g, nxgraph.Options{P: 16, Weighted: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gr.Close()
+	fmt.Printf("road network: %d junctions, %d directed segments\n",
+		gr.NumVertices(), gr.NumEdges())
+
+	const depot = 0
+	bfs, err := gr.BFS(depot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reached int
+	maxHop := 0.0
+	hist := map[int]int{}
+	for _, d := range bfs.Attrs {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		reached++
+		if d > maxHop {
+			maxHop = d
+		}
+		hist[int(d)/10]++
+	}
+	fmt.Printf("bfs from depot %d: reached %d/%d junctions, diameter-ish %d hops, %d iterations in %s\n",
+		depot, reached, len(bfs.Attrs), int(maxHop), bfs.Iterations, bfs.Elapsed.Round(1e6))
+	fmt.Println("hop-distance histogram (buckets of 10):")
+	for b := 0; b*10 <= int(maxHop); b++ {
+		fmt.Printf("  %3d-%3d: %d\n", b*10, b*10+9, hist[b])
+	}
+
+	sssp, err := gr.SSSP(depot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	var far uint32
+	for v, d := range sssp.Attrs {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		sum += d
+		if d > sssp.Attrs[far] && !math.IsInf(d, 1) {
+			far = uint32(v)
+		}
+	}
+	fmt.Printf("sssp: mean travel time %.2f, farthest junction %d at %.2f (%d iterations, %s)\n",
+		sum/float64(reached), far, sssp.Attrs[far], sssp.Iterations, sssp.Elapsed.Round(1e6))
+}

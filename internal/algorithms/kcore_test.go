@@ -1,0 +1,75 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/refalgo"
+	"nxgraph/internal/testutil"
+)
+
+func TestKCoreKnownGraph(t *testing.T) {
+	// A 4-clique (core 3) with a pendant path hanging off it (core 1).
+	// Undirected degree is in+out, so each undirected edge is stored
+	// once; the Both-direction traversal supplies the other orientation.
+	g := &graph.EdgeList{NumVertices: 6}
+	for a := uint32(0); a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			g.Edges = append(g.Edges, graph.Edge{Src: a, Dst: b})
+		}
+	}
+	g.Edges = append(g.Edges,
+		graph.Edge{Src: 3, Dst: 4}, graph.Edge{Src: 4, Dst: 5})
+	e, oracle := buildEngine(t, g, 2, false, configCases[0])
+	res, err := algorithms.KCore(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.KCore(oracle)
+	wantVals := []uint32{3, 3, 3, 3, 1, 1}
+	for v := range want {
+		if want[v] != wantVals[v] {
+			t.Fatalf("oracle disagrees with hand-computed cores: %v", want)
+		}
+		if res.Core[v] != want[v] {
+			t.Fatalf("vertex %d: core %d, want %d", v, res.Core[v], want[v])
+		}
+	}
+	if res.MaxCore != 3 {
+		t.Fatalf("degeneracy %d, want 3", res.MaxCore)
+	}
+}
+
+func TestKCoreMatchesOracle(t *testing.T) {
+	for gname, g := range testGraphs(t) {
+		for _, cc := range []configCase{configCases[0], configCases[3], configCases[5]} {
+			t.Run(gname+"/"+cc.name, func(t *testing.T) {
+				e, oracle := buildEngine(t, g, 4, false, cc)
+				res, err := algorithms.KCore(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := refalgo.KCore(oracle)
+				for v := range want {
+					if res.Core[v] != want[v] {
+						t.Fatalf("vertex %d: core %d, want %d", v, res.Core[v], want[v])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestKCoreRequiresTranspose(t *testing.T) {
+	g := testGraphs(t)["uniform"]
+	st, _ := testutil.BuildStore(t, g, testutil.StoreOptions{P: 4})
+	e, err := engine.New(st, engine.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algorithms.KCore(e); err == nil {
+		t.Fatal("kcore without transpose accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Package algorithms implements the graph computations the paper
+// evaluates — PageRank, BFS, WCC, SCC — plus weighted SSSP and HITS as
+// extensions, all expressed as engine Programs (paper §II-B's
+// Initialize/Update/Output decomposition).
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"nxgraph/internal/engine"
+)
+
+// pageRankProg implements the PageRank power iteration with dangling-mass
+// redistribution. The global aggregate carries the dangling mass of the
+// current attributes into Apply's base term.
+type pageRankProg struct {
+	n        float64
+	damping  float64
+	dangling float64
+	// maxDelta tracks the largest per-vertex change of the last
+	// iteration (atomic float64 bits; Apply runs concurrently).
+	maxDelta atomic.Uint64
+}
+
+func (p *pageRankProg) Name() string  { return "pagerank" }
+func (p *pageRankProg) Zero() float64 { return 0 }
+
+func (p *pageRankProg) Init(v uint32) (float64, bool) { return 1 / p.n, true }
+
+func (p *pageRankProg) Gather(srcAttr float64, srcDeg uint32, _ float32) float64 {
+	return srcAttr / float64(srcDeg)
+}
+
+func (p *pageRankProg) Sum(a, b float64) float64 { return a + b }
+
+func (p *pageRankProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	nv := (1-p.damping)/p.n + p.damping*(p.dangling/p.n+acc)
+	p.updateDelta(math.Abs(nv - old))
+	// PageRank is non-monotone: accumulators rebuild from scratch every
+	// iteration, so every interval must stay active until the driver
+	// stops iterating.
+	return nv, true
+}
+
+func (p *pageRankProg) updateDelta(d float64) {
+	for {
+		cur := p.maxDelta.Load()
+		if d <= math.Float64frombits(cur) {
+			return
+		}
+		if p.maxDelta.CompareAndSwap(cur, math.Float64bits(d)) {
+			return
+		}
+	}
+}
+
+func (p *pageRankProg) takeDelta() float64 {
+	return math.Float64frombits(p.maxDelta.Swap(0))
+}
+
+// GlobalAggregator: dangling mass of the current ranks.
+func (p *pageRankProg) AggZero() float64 { return 0 }
+func (p *pageRankProg) AggVertex(v uint32, attr float64, deg uint32) float64 {
+	if deg == 0 {
+		return attr
+	}
+	return 0
+}
+func (p *pageRankProg) AggCombine(a, b float64) float64 { return a + b }
+func (p *pageRankProg) SetGlobal(g float64)             { p.dangling = g }
+
+// PageRank runs exactly iters power iterations and returns per-vertex
+// ranks (summing to 1).
+func PageRank(e *engine.Engine, damping float64, iters int) (*engine.Result, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("algorithms: pagerank needs iters > 0")
+	}
+	prog := &pageRankProg{n: float64(e.Store().Meta().NumVertices), damping: damping}
+	run, err := e.NewRun(prog, engine.Forward)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	for it := 0; it < iters; it++ {
+		more, err := run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	return run.Finish()
+}
+
+// PageRankConverge iterates until the largest per-vertex change drops
+// below eps (or maxIters is hit).
+func PageRankConverge(e *engine.Engine, damping, eps float64, maxIters int) (*engine.Result, error) {
+	prog := &pageRankProg{n: float64(e.Store().Meta().NumVertices), damping: damping}
+	run, err := e.NewRun(prog, engine.Forward)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	for it := 0; maxIters <= 0 || it < maxIters; it++ {
+		more, err := run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if prog.takeDelta() < eps {
+			break
+		}
+	}
+	return run.Finish()
+}

@@ -1,0 +1,282 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nxgraph/internal/bitset"
+	"nxgraph/internal/engine"
+)
+
+// SCC computes strongly connected components with the trim + forward-
+// coloring + backward-confirmation scheme used by vertex-centric
+// out-of-core systems (the same family GraphChi's SCC belongs to):
+//
+//  1. Trim: unassigned vertices with no unassigned in- or out-neighbor
+//     are singleton SCCs (removed repeatedly, bounded rounds).
+//  2. Color: propagate the maximum vertex id along forward edges to a
+//     fixpoint. A vertex whose color equals its own id roots a candidate
+//     component.
+//  3. Confirm: propagate root confirmation backwards (along reverse
+//     edges) within equal colors. Every confirmed vertex belongs to the
+//     SCC rooted at its color. Because forward max-coloring guarantees
+//     color(u) ≥ color(v) for every edge v→u, "some confirmed
+//     out-neighbor has my color" reduces to an associative min.
+//  4. Assign confirmed vertices, freeze them behind the engine's vertex
+//     mask, repeat.
+//
+// The store must be preprocessed with Transpose. Labels identify
+// components by their root's id (an arbitrary canonical member).
+func SCC(e *engine.Engine) (*SCCResult, error) {
+	meta := e.Store().Meta()
+	if !meta.HasTranspose {
+		return nil, fmt.Errorf("algorithms: scc requires a store preprocessed with Transpose")
+	}
+	n := int(meta.NumVertices)
+	start := time.Now()
+	res := &SCCResult{Components: make([]uint32, n)}
+	mask := bitset.New(n)
+	remaining := n
+	const trimRoundsPerPhase = 4
+
+	for remaining > 0 {
+		res.Rounds++
+		// Phase 1: trim.
+		for t := 0; t < trimRoundsPerPhase && remaining > 0; t++ {
+			trimmed, err := trimOnce(e, mask, res)
+			if err != nil {
+				return nil, err
+			}
+			if trimmed == 0 {
+				break
+			}
+			remaining -= trimmed
+		}
+		if remaining == 0 {
+			break
+		}
+		// Phase 2: forward max-coloring to fixpoint.
+		colors, err := colorFixpoint(e, mask, res)
+		if err != nil {
+			return nil, err
+		}
+		// Phase 3: backward confirmation to fixpoint.
+		confirmed, err := confirmFixpoint(e, mask, colors, res)
+		if err != nil {
+			return nil, err
+		}
+		// Phase 4: assign confirmed vertices.
+		assigned := 0
+		for v := 0; v < n; v++ {
+			if mask.Test(v) || !confirmed[v] {
+				continue
+			}
+			res.Components[v] = uint32(colors[v])
+			mask.Set(v)
+			assigned++
+		}
+		if assigned == 0 {
+			return nil, fmt.Errorf("algorithms: scc made no progress (round %d, %d left)",
+				res.Rounds, remaining)
+		}
+		remaining -= assigned
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// SCCResult reports an SCC computation.
+type SCCResult struct {
+	// Components maps each vertex to its component root's id.
+	Components []uint32
+	// Rounds counts outer trim/color/confirm rounds.
+	Rounds int
+	// Iterations counts engine iterations across all phases.
+	Iterations int
+	// EdgesTraversed accumulates edge visits across all phases.
+	EdgesTraversed int64
+	// Elapsed is total wall time.
+	Elapsed time.Duration
+}
+
+// NumComponents counts distinct components.
+func (r *SCCResult) NumComponents() int {
+	seen := make(map[uint32]struct{})
+	for _, c := range r.Components {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// degreeCountProg counts unmasked in-neighbors (Forward) or out-neighbors
+// (Reverse) in a single iteration.
+type degreeCountProg struct{}
+
+func (degreeCountProg) Name() string                                  { return "scc-degree-count" }
+func (degreeCountProg) Zero() float64                                 { return 0 }
+func (degreeCountProg) Init(v uint32) (float64, bool)                 { return 0, true }
+func (degreeCountProg) Gather(_ float64, _ uint32, _ float32) float64 { return 1 }
+func (degreeCountProg) Sum(a, b float64) float64                      { return a + b }
+func (degreeCountProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	return acc, false
+}
+func (degreeCountProg) DenseApply() {}
+
+// trimOnce assigns singleton SCCs to unmasked vertices with zero live
+// in-degree or zero live out-degree, returning how many were trimmed.
+func trimOnce(e *engine.Engine, mask *bitset.Set, res *SCCResult) (int, error) {
+	inCnt, err := oneShotCount(e, mask, engine.Forward, res)
+	if err != nil {
+		return 0, err
+	}
+	outCnt, err := oneShotCount(e, mask, engine.Reverse, res)
+	if err != nil {
+		return 0, err
+	}
+	trimmed := 0
+	for v := range inCnt {
+		if mask.Test(v) {
+			continue
+		}
+		if inCnt[v] == 0 || outCnt[v] == 0 {
+			res.Components[v] = uint32(v)
+			mask.Set(v)
+			trimmed++
+		}
+	}
+	return trimmed, nil
+}
+
+func oneShotCount(e *engine.Engine, mask *bitset.Set, dir engine.Direction, res *SCCResult) ([]float64, error) {
+	run, err := e.NewRun(degreeCountProg{}, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	run.SetMask(mask)
+	if _, err := run.Step(); err != nil {
+		return nil, err
+	}
+	r, err := run.Finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations += r.Iterations
+	res.EdgesTraversed += r.EdgesTraversed
+	return r.Attrs, nil
+}
+
+// colorProg propagates maximum vertex ids forward.
+type colorProg struct{}
+
+func (colorProg) Name() string                  { return "scc-color" }
+func (colorProg) Zero() float64                 { return math.Inf(-1) }
+func (colorProg) Init(v uint32) (float64, bool) { return float64(v), true }
+func (colorProg) Gather(srcAttr float64, _ uint32, _ float32) float64 {
+	return srcAttr
+}
+func (colorProg) Sum(a, b float64) float64 { return math.Max(a, b) }
+func (colorProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	if acc > old {
+		return acc, true
+	}
+	return old, false
+}
+
+func colorFixpoint(e *engine.Engine, mask *bitset.Set, res *SCCResult) ([]float64, error) {
+	run, err := e.NewRun(colorProg{}, engine.Forward)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	run.SetMask(mask)
+	for {
+		more, err := run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	r, err := run.Finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations += r.Iterations
+	res.EdgesTraversed += r.EdgesTraversed
+	return r.Attrs, nil
+}
+
+// confirmProg propagates root confirmation along reverse edges. The
+// attribute packs (color, confirmed) as color*2 + flag; both fit a
+// float64 exactly for any uint32 color.
+type confirmProg struct{}
+
+func (confirmProg) Name() string  { return "scc-confirm" }
+func (confirmProg) Zero() float64 { return math.Inf(1) }
+
+// Init is overwritten by SetAttrs before stepping.
+func (confirmProg) Init(v uint32) (float64, bool) { return 0, true }
+
+func (confirmProg) Gather(srcAttr float64, _ uint32, _ float32) float64 {
+	if int64(srcAttr)&1 == 1 {
+		return math.Floor(srcAttr / 2)
+	}
+	return math.Inf(1)
+}
+
+func (confirmProg) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+func (confirmProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	if int64(old)&1 == 1 {
+		return old, false
+	}
+	color := math.Floor(old / 2)
+	if acc == color {
+		return old + 1, true
+	}
+	return old, false
+}
+
+func confirmFixpoint(e *engine.Engine, mask *bitset.Set, colors []float64, res *SCCResult) ([]bool, error) {
+	run, err := e.NewRun(confirmProg{}, engine.Reverse)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	run.SetMask(mask)
+	packed := make([]float64, len(colors))
+	for v := range colors {
+		flag := 0.0
+		if colors[v] == float64(v) {
+			flag = 1
+		}
+		packed[v] = colors[v]*2 + flag
+	}
+	if err := run.SetAttrs(packed); err != nil {
+		return nil, err
+	}
+	run.ActivateAll()
+	for {
+		more, err := run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	r, err := run.Finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations += r.Iterations
+	res.EdgesTraversed += r.EdgesTraversed
+	confirmed := make([]bool, len(colors))
+	for v, a := range r.Attrs {
+		confirmed[v] = int64(a)&1 == 1
+	}
+	return confirmed, nil
+}

@@ -1,0 +1,136 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+
+	"nxgraph/internal/engine"
+)
+
+// bfsProg is the paper's BFS example (Algorithms 2–4): minimum-depth
+// propagation from a root, with interval activity acting as the frontier.
+type bfsProg struct {
+	root uint32
+}
+
+func (p *bfsProg) Name() string  { return "bfs" }
+func (p *bfsProg) Zero() float64 { return math.Inf(1) }
+
+func (p *bfsProg) Init(v uint32) (float64, bool) {
+	if v == p.root {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+func (p *bfsProg) Gather(srcAttr float64, _ uint32, _ float32) float64 {
+	return srcAttr + 1
+}
+
+func (p *bfsProg) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+func (p *bfsProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// BFS computes hop distances from root; unreachable vertices hold +Inf.
+// The run terminates when no interval stays active (Algorithm 1's
+// finished condition).
+func BFS(e *engine.Engine, root uint32) (*engine.Result, error) {
+	if root >= e.Store().Meta().NumVertices {
+		return nil, fmt.Errorf("algorithms: bfs root %d out of range n=%d",
+			root, e.Store().Meta().NumVertices)
+	}
+	return e.Run(&bfsProg{root: root}, engine.Forward)
+}
+
+// MaxDepth is BFS's Output function from the paper (Algorithm 4): the
+// largest finite depth.
+func MaxDepth(depths []float64) int64 {
+	max := int64(-1)
+	for _, d := range depths {
+		if !math.IsInf(d, 1) && int64(d) > max {
+			max = int64(d)
+		}
+	}
+	return max
+}
+
+// ssspProg generalizes BFS to weighted shortest paths (Bellman-Ford style
+// relaxation). Weights must be non-negative.
+type ssspProg struct {
+	root uint32
+}
+
+func (p *ssspProg) Name() string  { return "sssp" }
+func (p *ssspProg) Zero() float64 { return math.Inf(1) }
+
+func (p *ssspProg) Init(v uint32) (float64, bool) {
+	if v == p.root {
+		return 0, true
+	}
+	return math.Inf(1), false
+}
+
+func (p *ssspProg) Gather(srcAttr float64, _ uint32, w float32) float64 {
+	return srcAttr + float64(w)
+}
+
+func (p *ssspProg) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+func (p *ssspProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// SSSP computes single-source shortest path distances over edge weights;
+// unreachable vertices hold +Inf. The store should be built with
+// Weighted; unweighted stores degenerate to BFS (all weights 1).
+func SSSP(e *engine.Engine, root uint32) (*engine.Result, error) {
+	if root >= e.Store().Meta().NumVertices {
+		return nil, fmt.Errorf("algorithms: sssp root %d out of range n=%d",
+			root, e.Store().Meta().NumVertices)
+	}
+	return e.Run(&ssspProg{root: root}, engine.Forward)
+}
+
+// wccProg propagates minimum labels across both edge orientations,
+// computing weakly connected components.
+type wccProg struct{}
+
+func (wccProg) Name() string  { return "wcc" }
+func (wccProg) Zero() float64 { return math.Inf(1) }
+
+func (wccProg) Init(v uint32) (float64, bool) { return float64(v), true }
+
+func (wccProg) Gather(srcAttr float64, _ uint32, _ float32) float64 { return srcAttr }
+
+func (wccProg) Sum(a, b float64) float64 { return math.Min(a, b) }
+
+func (wccProg) Apply(v uint32, old, acc float64) (float64, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// WCC labels every vertex with the smallest vertex id in its weakly
+// connected component. It requires a store preprocessed with Transpose
+// (label propagation runs over both edge orientations).
+func WCC(e *engine.Engine) (*engine.Result, error) {
+	return e.Run(wccProg{}, engine.Both)
+}
+
+// Labels converts float64 label attributes to vertex ids.
+func Labels(attrs []float64) []uint32 {
+	out := make([]uint32, len(attrs))
+	for i, a := range attrs {
+		out[i] = uint32(a)
+	}
+	return out
+}

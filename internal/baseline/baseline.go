@@ -1,0 +1,171 @@
+// Package baseline reimplements the update strategies of the systems the
+// paper compares against — GraphChi (PSW), TurboGraph (pin-and-slide),
+// GridGraph (2-level grid) and X-Stream (edge-centric scatter–gather) —
+// over the same diskio substrate and the same gather–sum–apply programs
+// as the NXgraph engine.
+//
+// These are not ports of the original codebases; they are faithful
+// re-creations of each system's storage layout and per-iteration disk
+// traffic (the quantities the paper's §III-C analysis and Tables V–VI
+// compare), so that benchmark differences isolate the storage/scheduling
+// strategy. All four systems:
+//
+//   - keep per-vertex attributes in an attrs.bin file and move them
+//     through diskio according to their own model;
+//   - run synchronous iterations of an engine.Program until no vertex
+//     changes or maxIters is reached (no interval-granular activity
+//     skipping — that is NXgraph's contribution);
+//   - support GlobalAggregator programs (PageRank's dangling mass).
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/engine"
+)
+
+// System is a baseline graph engine bound to one preprocessed graph.
+type System interface {
+	// Name identifies the system ("graphchi-like", ...).
+	Name() string
+	// NumVertices returns the dense vertex count.
+	NumVertices() uint32
+	// NumEdges returns the edge count.
+	NumEdges() int64
+	// RunProgram executes p for at most maxIters synchronous iterations
+	// (0 = until quiescent) and returns the final attributes.
+	RunProgram(p engine.Program, maxIters int) (*Result, error)
+	// Close releases the system's files.
+	Close() error
+}
+
+// Result reports one baseline execution.
+type Result struct {
+	Attrs          []float64
+	Iterations     int
+	EdgesTraversed int64
+	IO             diskio.StatsSnapshot
+	Elapsed        time.Duration
+}
+
+// MTEPS returns millions of traversed edges per second.
+func (r *Result) MTEPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / 1e6 / r.Elapsed.Seconds()
+}
+
+// runState carries the shared synchronous-iteration machinery: attribute
+// mirror, aggregate computation and change tracking.
+type runState struct {
+	p    engine.Program
+	agg  engine.GlobalAggregator
+	deg  []uint32
+	curr []float64
+	acc  []float64
+}
+
+func newRunState(p engine.Program, deg []uint32, n uint32) *runState {
+	s := &runState{p: p, deg: deg,
+		curr: make([]float64, n), acc: make([]float64, n)}
+	if a, ok := p.(engine.GlobalAggregator); ok {
+		s.agg = a
+	}
+	for v := uint32(0); v < n; v++ {
+		s.curr[v], _ = p.Init(v)
+	}
+	return s
+}
+
+// beginIteration zeroes accumulators and publishes the global aggregate.
+func (s *runState) beginIteration() {
+	zero := s.p.Zero()
+	for i := range s.acc {
+		s.acc[i] = zero
+	}
+	if s.agg == nil {
+		return
+	}
+	g := s.agg.AggZero()
+	for v, a := range s.curr {
+		g = s.agg.AggCombine(g, s.agg.AggVertex(uint32(v), a, s.deg[v]))
+	}
+	s.agg.SetGlobal(g)
+}
+
+// applyAll folds accumulators into attributes, returning whether anything
+// changed.
+func (s *runState) applyAll(lo, hi uint32) bool {
+	changed := false
+	for v := lo; v < hi; v++ {
+		nv, ch := s.p.Apply(v, s.curr[v], s.acc[v])
+		s.curr[v] = nv
+		if ch {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// attr file helpers shared by the baselines.
+
+func writeAttrFile(f *diskio.File, vals []float64, lo uint32) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := f.WriteAt(buf, int64(lo)*8); err != nil {
+		return fmt.Errorf("baseline: write attrs: %w", err)
+	}
+	return nil
+}
+
+func readAttrFile(f *diskio.File, vals []float64, lo uint32) error {
+	if len(vals) == 0 {
+		return nil
+	}
+	buf := make([]byte, 8*len(vals))
+	if _, err := f.ReadAt(buf, int64(lo)*8); err != nil {
+		return fmt.Errorf("baseline: read attrs: %w", err)
+	}
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// intervals splits [0, n) into p equal ranges and returns the boundary
+// array (p+1 entries).
+func intervals(n uint32, p int) []uint32 {
+	size := (n + uint32(p) - 1) / uint32(p)
+	b := make([]uint32, p+1)
+	for k := 0; k <= p; k++ {
+		v := uint32(k) * size
+		if v > n {
+			v = n
+		}
+		b[k] = v
+	}
+	return b
+}
+
+// intervalOf locates v in the boundary array.
+func intervalOf(bounds []uint32, v uint32) int {
+	size := bounds[1] - bounds[0]
+	if size == 0 {
+		return 0
+	}
+	k := int(v / size)
+	if k >= len(bounds)-1 {
+		k = len(bounds) - 2
+	}
+	return k
+}

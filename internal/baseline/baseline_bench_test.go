@@ -1,0 +1,64 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/baseline"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/testutil"
+)
+
+func benchGraph(b *testing.B) *graph.EdgeList {
+	b.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(12, 12, 5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return testutil.Compact(g)
+}
+
+// BenchmarkBaselinePageRank compares one 3-iteration PageRank across the
+// four baseline engines on identical data and unthrottled disks.
+func BenchmarkBaselinePageRank(b *testing.B) {
+	g := benchGraph(b)
+	budget := 2 * int64(g.NumVertices) * 8 / 3
+	builders := []struct {
+		name  string
+		build func(d *diskio.Disk) (baseline.System, error)
+	}{
+		{"graphchi", func(d *diskio.Disk) (baseline.System, error) {
+			return baseline.NewGraphChi(d, "gc", g, 8, 2)
+		}},
+		{"turbograph", func(d *diskio.Disk) (baseline.System, error) {
+			return baseline.NewTurboGraph(d, "tg", g, budget, 2)
+		}},
+		{"gridgraph", func(d *diskio.Disk) (baseline.System, error) {
+			return baseline.NewGridGraph(d, "gg", g, budget, 2)
+		}},
+		{"xstream", func(d *diskio.Disk) (baseline.System, error) {
+			return baseline.NewXStream(d, "xs", g, budget, 2)
+		}},
+	}
+	for _, c := range builders {
+		b.Run(c.name, func(b *testing.B) {
+			d := diskio.MustNew(b.TempDir(), diskio.Unthrottled)
+			sys, err := c.build(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			prog := algorithms.NewPageRankProgram(g.NumVertices, 0.85)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sys.RunProgram(prog, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(res.IO.Total() / int64(res.Iterations))
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package baseline_test
+
+import (
+	"math"
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/baseline"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/refalgo"
+	"nxgraph/internal/testutil"
+)
+
+func testGraph(t *testing.T) *graph.EdgeList {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testutil.Compact(g)
+}
+
+// systems builds every baseline over g on a fresh unthrottled disk.
+func systems(t *testing.T, g *graph.EdgeList) []baseline.System {
+	t.Helper()
+	disk := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	budget := int64(g.NumVertices) * 8 // forces several intervals/partitions
+	gc, err := baseline.NewGraphChi(disk, "gc", g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := baseline.NewTurboGraph(disk, "tg", g, budget, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := baseline.NewGridGraph(disk, "gg", g, budget, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := baseline.NewXStream(disk, "xs", g, budget, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []baseline.System{gc, tg, gg, xs}
+	t.Cleanup(func() {
+		for _, s := range all {
+			s.Close()
+		}
+	})
+	return all
+}
+
+// TestPageRankConvergesToOracleFixpoint runs PageRank to (near)
+// convergence on every baseline. GraphChi-, TurboGraph- and
+// GridGraph-like systems update asynchronously within an iteration
+// (Gauss–Seidel), so only the fixpoint — not the per-iteration
+// trajectory — is comparable.
+func TestPageRankConvergesToOracleFixpoint(t *testing.T) {
+	g := testGraph(t)
+	want := refalgo.PageRank(g, 0.85, 150)
+	for _, sys := range systems(t, g) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			prog := algorithms.NewPageRankProgram(g.NumVertices, 0.85)
+			res, err := sys.RunProgram(prog, 150)
+			if err != nil {
+				t.Fatalf("RunProgram: %v", err)
+			}
+			for v := range want {
+				if math.Abs(res.Attrs[v]-want[v]) > 1e-8 {
+					t.Fatalf("vertex %d: rank %.12g, want %.12g", v, res.Attrs[v], want[v])
+				}
+			}
+			if res.IO.BytesRead == 0 || res.IO.BytesWritten == 0 {
+				t.Errorf("expected nonzero disk traffic, got %+v", res.IO)
+			}
+		})
+	}
+}
+
+// TestXStreamPageRankSynchronous checks the one synchronous baseline
+// matches the oracle trajectory exactly.
+func TestXStreamPageRankSynchronous(t *testing.T) {
+	g := testGraph(t)
+	disk := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	xs, err := baseline.NewXStream(disk, "xs", g, int64(g.NumVertices)*8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer xs.Close()
+	res, err := xs.RunProgram(algorithms.NewPageRankProgram(g.NumVertices, 0.85), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.PageRank(g, 0.85, 10)
+	for v := range want {
+		if math.Abs(res.Attrs[v]-want[v]) > 1e-9 {
+			t.Fatalf("vertex %d: rank %.12g, want %.12g", v, res.Attrs[v], want[v])
+		}
+	}
+}
+
+func TestBFSMatchesOracleOnAllBaselines(t *testing.T) {
+	g := testGraph(t)
+	want := refalgo.BFS(graph.BuildAdjacency(g), 0)
+	for _, sys := range systems(t, g) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			res, err := sys.RunProgram(algorithms.NewBFSProgram(0), 0)
+			if err != nil {
+				t.Fatalf("RunProgram: %v", err)
+			}
+			for v := range want {
+				got := int64(-1)
+				if !math.IsInf(res.Attrs[v], 1) {
+					got = int64(res.Attrs[v])
+				}
+				// Asynchronous systems may find shorter-or-equal paths
+				// earlier but the fixpoint must be exact.
+				if got != want[v] {
+					t.Fatalf("vertex %d: depth %d, want %d", v, got, want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestWCCMatchesOracleOnAllBaselines(t *testing.T) {
+	raw := testGraph(t)
+	sym := raw.Symmetrize() // baselines traverse forward edges only
+	want := refalgo.WCC(raw)
+	for _, sys := range systems(t, sym) {
+		t.Run(sys.Name(), func(t *testing.T) {
+			res, err := sys.RunProgram(algorithms.NewWCCProgram(), 0)
+			if err != nil {
+				t.Fatalf("RunProgram: %v", err)
+			}
+			testutil.SamePartition(t, algorithms.Labels(res.Attrs), want)
+		})
+	}
+}
+
+// TestTurboGraphIOGrowsWithSmallerBudget validates the §III-C analysis
+// direction: halving the budget roughly doubles the attribute re-read
+// traffic.
+func TestTurboGraphIOGrowsWithSmallerBudget(t *testing.T) {
+	g := testGraph(t)
+	run := func(budget int64) int64 {
+		disk := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+		tg, err := baseline.NewTurboGraph(disk, "tg", g, budget, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tg.Close()
+		res, err := tg.RunProgram(algorithms.NewPageRankProgram(g.NumVertices, 0.85), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IO.BytesRead
+	}
+	big := run(int64(g.NumVertices) * 8) // P = 2
+	small := run(int64(g.NumVertices))   // P = 16
+	if small <= big {
+		t.Fatalf("read traffic should grow as budget shrinks: big-budget=%d small-budget=%d", big, small)
+	}
+}

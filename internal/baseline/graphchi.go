@@ -1,0 +1,239 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/graph"
+)
+
+// GraphChi reimplements GraphChi's Parallel Sliding Windows model
+// (Kyrola et al., OSDI'12; paper §V-B): P source-sorted shards, one per
+// destination interval, with per-edge data. Each iteration processes
+// intervals in order; updating interval j loads shard j (its in-edges,
+// whose records carry the contributions written when their sources were
+// last updated), applies, then slides a window over every shard to
+// rewrite the out-edge contributions of the just-updated interval.
+//
+// Key contrasts with NXgraph that the benchmarks surface:
+//   - per-edge data means every edge's value is read and rewritten every
+//     iteration (~m·(Be+Ba) read + m·rec write vs NXgraph's m·Be read);
+//   - source-sorted shards force coarse-grained parallelism;
+//   - updates are asynchronous within an iteration (PSW semantics):
+//     later intervals observe contributions already rewritten by earlier
+//     intervals of the same iteration.
+type GraphChi struct {
+	disk   *diskio.Disk
+	dir    string
+	n      uint32
+	m      int64
+	p      int
+	bounds []uint32
+	deg    []uint32
+	// winOff[j][i] is the record offset in shard j of the first edge
+	// with source in interval i (records sorted by source).
+	winOff  [][]int64
+	shardSz []int64 // records per shard
+	shards  []*diskio.File
+	attrs   *diskio.File
+	threads int
+}
+
+// graphchiRec is one on-disk edge record: src, dst, srcDeg (u32 each),
+// weight (f32) and the stored contribution value (f64) — 24 bytes. The
+// value field is GraphChi's "edge data".
+const graphchiRecBytes = 24
+
+// NewGraphChi builds the PSW representation of g under dir on disk.
+func NewGraphChi(disk *diskio.Disk, dir string, g *graph.EdgeList, p, threads int) (*GraphChi, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("baseline: graphchi needs P > 0")
+	}
+	if threads <= 0 {
+		threads = 1
+	}
+	s := &GraphChi{
+		disk: disk, dir: dir, n: g.NumVertices, m: int64(len(g.Edges)),
+		p: p, bounds: intervals(g.NumVertices, p), deg: g.OutDegrees(),
+		winOff: make([][]int64, p), shardSz: make([]int64, p),
+		shards: make([]*diskio.File, p), threads: threads,
+	}
+	// Partition edges into shards by destination interval; sort each by
+	// (src, dst) — GraphChi's source order.
+	perShard := make([][]graph.Edge, p)
+	for _, e := range g.Edges {
+		j := intervalOf(s.bounds, e.Dst)
+		perShard[j] = append(perShard[j], e)
+	}
+	for j := 0; j < p; j++ {
+		edges := perShard[j]
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].Src != edges[b].Src {
+				return edges[a].Src < edges[b].Src
+			}
+			return edges[a].Dst < edges[b].Dst
+		})
+		f, err := disk.Create(fmt.Sprintf("%s/shard_%d.dat", dir, j))
+		if err != nil {
+			return nil, err
+		}
+		s.shards[j] = f
+		buf := make([]byte, graphchiRecBytes*len(edges))
+		offs := make([]int64, p+1)
+		for r, e := range edges {
+			rec := buf[graphchiRecBytes*r:]
+			binary.LittleEndian.PutUint32(rec[0:], e.Src)
+			binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+			binary.LittleEndian.PutUint32(rec[8:], s.deg[e.Src])
+			binary.LittleEndian.PutUint32(rec[12:], math.Float32bits(e.Weight))
+			binary.LittleEndian.PutUint64(rec[16:], 0)
+		}
+		// Window offsets: first record of each source interval.
+		for i := 0; i <= p; i++ {
+			offs[i] = int64(sort.Search(len(edges), func(r int) bool {
+				return edges[r].Src >= s.bounds[i]
+			}))
+		}
+		s.winOff[j] = offs
+		s.shardSz[j] = int64(len(edges))
+		if len(buf) > 0 {
+			if _, err := f.WriteAt(buf, 0); err != nil {
+				return nil, fmt.Errorf("baseline: graphchi shard write: %w", err)
+			}
+		}
+	}
+	attrs, err := disk.Create(dir + "/attrs.bin")
+	if err != nil {
+		return nil, err
+	}
+	s.attrs = attrs
+	return s, nil
+}
+
+func (s *GraphChi) Name() string        { return "graphchi-like" }
+func (s *GraphChi) NumVertices() uint32 { return s.n }
+func (s *GraphChi) NumEdges() int64     { return s.m }
+
+// Close releases shard and attribute files.
+func (s *GraphChi) Close() error {
+	var first error
+	for _, f := range s.shards {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if s.attrs != nil {
+		if err := s.attrs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RunProgram implements System.
+func (s *GraphChi) RunProgram(p engine.Program, maxIters int) (*Result, error) {
+	start := time.Now()
+	io0 := s.disk.Stats().Snapshot()
+	st := newRunState(p, s.deg, s.n)
+	if err := writeAttrFile(s.attrs, st.curr, 0); err != nil {
+		return nil, err
+	}
+	// Initial scatter: seed every edge's stored contribution from the
+	// initial attributes.
+	for j := 0; j < s.p; j++ {
+		if err := s.rewriteWindow(p, st, j, 0, s.shardSz[j]); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{}
+	for it := 0; maxIters <= 0 || it < maxIters; it++ {
+		st.beginIteration()
+		changed := false
+		for j := 0; j < s.p; j++ {
+			lo, hi := s.bounds[j], s.bounds[j+1]
+			if lo == hi {
+				continue
+			}
+			// Gather: load shard j; its records carry contributions.
+			recs, err := s.readShard(j, 0, s.shardSz[j])
+			if err != nil {
+				return nil, err
+			}
+			res.EdgesTraversed += s.shardSz[j]
+			for r := 0; r < len(recs); r += graphchiRecBytes {
+				dst := binary.LittleEndian.Uint32(recs[r+4:])
+				val := math.Float64frombits(binary.LittleEndian.Uint64(recs[r+16:]))
+				st.acc[dst] = p.Sum(st.acc[dst], val)
+			}
+			// Apply interval j (attr file round-trip, per PSW).
+			old := make([]float64, hi-lo)
+			if err := readAttrFile(s.attrs, old, lo); err != nil {
+				return nil, err
+			}
+			if st.applyAll(lo, hi) {
+				changed = true
+			}
+			if err := writeAttrFile(s.attrs, st.curr[lo:hi], lo); err != nil {
+				return nil, err
+			}
+			// Scatter: slide the window for source interval j over
+			// every shard, rewriting contributions from the new
+			// attributes (asynchronous PSW semantics).
+			for t := 0; t < s.p; t++ {
+				if err := s.rewriteWindow(p, st, t, s.winOff[t][j], s.winOff[t][j+1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Iterations++
+		if !changed {
+			break
+		}
+	}
+	res.Attrs = append([]float64(nil), st.curr...)
+	res.IO = s.disk.Stats().Snapshot().Sub(io0)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// readShard reads records [r0, r1) of shard j.
+func (s *GraphChi) readShard(j int, r0, r1 int64) ([]byte, error) {
+	if r1 <= r0 {
+		return nil, nil
+	}
+	buf := make([]byte, (r1-r0)*graphchiRecBytes)
+	if _, err := s.shards[j].ReadAt(buf, r0*graphchiRecBytes); err != nil {
+		return nil, fmt.Errorf("baseline: graphchi read shard %d: %w", j, err)
+	}
+	return buf, nil
+}
+
+// rewriteWindow recomputes the stored contribution of records [r0, r1) of
+// shard t from the current in-memory attributes and writes them back.
+func (s *GraphChi) rewriteWindow(p engine.Program, st *runState, t int, r0, r1 int64) error {
+	if r1 <= r0 {
+		return nil
+	}
+	buf, err := s.readShard(t, r0, r1)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < len(buf); r += graphchiRecBytes {
+		src := binary.LittleEndian.Uint32(buf[r:])
+		deg := binary.LittleEndian.Uint32(buf[r+8:])
+		w := math.Float32frombits(binary.LittleEndian.Uint32(buf[r+12:]))
+		val := p.Gather(st.curr[src], deg, w)
+		binary.LittleEndian.PutUint64(buf[r+16:], math.Float64bits(val))
+	}
+	if _, err := s.shards[t].WriteAt(buf, r0*graphchiRecBytes); err != nil {
+		return fmt.Errorf("baseline: graphchi rewrite shard %d: %w", t, err)
+	}
+	return nil
+}

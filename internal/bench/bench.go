@@ -1,0 +1,150 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§IV). Each Exp* method builds the
+// scaled stand-in datasets, runs the relevant systems, and returns a
+// text table whose rows mirror what the paper reports. The cmd/nxbench
+// binary and the repository-level Go benchmarks both drive this package.
+//
+// Absolute numbers differ from the paper — the datasets are scaled
+// stand-ins and the disks are simulated — but the comparisons (who wins,
+// by what factor, where curves bend) are the reproduction targets;
+// EXPERIMENTS.md records both sides.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/baseline"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
+)
+
+// Suite configures one harness run.
+type Suite struct {
+	// ScaleDelta is added to every dataset preset's scale (negative
+	// shrinks; -2 quarters the vertex count).
+	ScaleDelta int
+	// Threads is the worker count for all systems.
+	Threads int
+	// Seed drives all generators.
+	Seed int64
+	// Profile is the simulated disk used for timed runs (experiments
+	// that sweep disks override it).
+	Profile diskio.Profile
+	// WorkDir hosts scratch stores; empty means a fresh temp dir.
+	WorkDir string
+	// PageRankIters is the iteration count for PageRank experiments
+	// (the paper uses 10).
+	PageRankIters int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	graphs map[string]*graph.EdgeList
+	nstore int
+}
+
+// NewSuite returns a Suite with the paper's defaults at reduced scale.
+func NewSuite() *Suite {
+	return &Suite{Threads: 4, Seed: 42, Profile: diskio.Unthrottled, PageRankIters: 10}
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, format+"\n", args...)
+	}
+}
+
+func (s *Suite) workdir() (string, error) {
+	if s.WorkDir == "" {
+		dir, err := os.MkdirTemp("", "nxbench-*")
+		if err != nil {
+			return "", err
+		}
+		s.WorkDir = dir
+	}
+	return s.WorkDir, nil
+}
+
+// Graph returns (generating and caching) the named preset stand-in.
+func (s *Suite) Graph(name string) (*graph.EdgeList, error) {
+	if g, ok := s.graphs[name]; ok {
+		return g, nil
+	}
+	g, err := gen.FromPreset(name, s.ScaleDelta, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if s.graphs == nil {
+		s.graphs = make(map[string]*graph.EdgeList)
+	}
+	s.graphs[name] = g
+	s.logf("generated %s: %d vertices, %d edges", name, g.NumVertices, g.NumEdges())
+	return g, nil
+}
+
+// buildStore preprocesses g (on an unthrottled disk — preprocessing is
+// not part of any timed experiment) and reopens the store on a disk with
+// the given profile for measurement.
+func (s *Suite) buildStore(g *graph.EdgeList, p int, transpose bool, prof diskio.Profile) (*storage.Store, error) {
+	wd, err := s.workdir()
+	if err != nil {
+		return nil, err
+	}
+	s.nstore++
+	dir := fmt.Sprintf("store-%04d", s.nstore)
+	build := diskio.MustNew(wd, diskio.Unthrottled)
+	res, err := preprocess.FromEdgeList(build, dir, g, preprocess.Options{
+		Name: dir, P: p, Transpose: transpose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Store.Close()
+	run := diskio.MustNew(wd, prof)
+	return storage.Open(run, dir)
+}
+
+// nxEngine builds an engine over a fresh store of g.
+func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Config, prof diskio.Profile) (*engine.Engine, func(), error) {
+	st, err := s.buildStore(g, p, transpose, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = s.Threads
+	}
+	e, err := engine.New(st, cfg)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return e, func() { st.Close() }, nil
+}
+
+// realGraphs lists the paper's three real-world datasets (stand-ins).
+var realGraphs = []string{"livejournal", "twitter", "yahoo"}
+
+// Close removes the suite's scratch directory.
+func (s *Suite) Close() {
+	if s.WorkDir != "" {
+		os.RemoveAll(s.WorkDir)
+		s.WorkDir = ""
+	}
+}
+
+// pagerank runs the suite's standard PageRank measurement on an engine.
+func (s *Suite) pagerank(e *engine.Engine) (*engine.Result, error) {
+	return algorithms.PageRank(e, 0.85, s.PageRankIters)
+}
+
+// baselinePageRank runs PageRank on a baseline system for the standard
+// iteration count.
+func (s *Suite) baselinePageRank(sys baseline.System) (*baseline.Result, error) {
+	return sys.RunProgram(algorithms.NewPageRankProgram(sys.NumVertices(), 0.85), s.PageRankIters)
+}

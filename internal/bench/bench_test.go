@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"nxgraph/internal/metrics"
+)
+
+// tinySuite shrinks every dataset far enough that the full experiment
+// matrix runs in CI time.
+func tinySuite(t *testing.T) *Suite {
+	t.Helper()
+	s := NewSuite()
+	s.ScaleDelta = -8
+	s.Threads = 2
+	s.PageRankIters = 2
+	t.Cleanup(s.Close)
+	return s
+}
+
+func checkTable(t *testing.T, tab *metrics.Table, err error, minRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() < minRows {
+		t.Fatalf("table has %d rows, want at least %d:\n%s", tab.Rows(), minRows, tab)
+	}
+	if !strings.Contains(tab.String(), "==") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	checkTable(t, tinySuite(t).TableII(), nil, 16)
+}
+
+func TestFig6(t *testing.T) {
+	checkTable(t, tinySuite(t).Fig6(8), nil, 8)
+}
+
+func TestTable4(t *testing.T) {
+	tab, err := tinySuite(t).Table4()
+	checkTable(t, tab, err, 3)
+}
+
+func TestFig7(t *testing.T) {
+	tab, err := tinySuite(t).Fig7([]int{2, 4})
+	checkTable(t, tab, err, 2)
+}
+
+func TestFig8(t *testing.T) {
+	tab, err := tinySuite(t).Fig8([]int{1, 2}, []float64{0.5})
+	checkTable(t, tab, err, 9)
+}
+
+func TestFig9(t *testing.T) {
+	tab, err := tinySuite(t).Fig9([]float64{0.5, 1})
+	checkTable(t, tab, err, 24)
+}
+
+func TestFig10(t *testing.T) {
+	tab, err := tinySuite(t).Fig10([]int{2})
+	checkTable(t, tab, err, 12)
+}
+
+func TestFig11(t *testing.T) {
+	tab, err := tinySuite(t).Fig11()
+	checkTable(t, tab, err, 20)
+}
+
+func TestFig12(t *testing.T) {
+	tab, err := tinySuite(t).Fig12()
+	checkTable(t, tab, err, 3*(6+4))
+}
+
+func TestTable5(t *testing.T) {
+	tab, err := tinySuite(t).Table5()
+	checkTable(t, tab, err, 7)
+}
+
+func TestTable6(t *testing.T) {
+	tab, err := tinySuite(t).Table6()
+	checkTable(t, tab, err, 5)
+}

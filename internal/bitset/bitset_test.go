@@ -1,0 +1,215 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // crosses two word boundaries
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.Any() {
+		t.Fatal("new set should be empty")
+	}
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(129)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !s.Test(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Clear(63)
+	if s.Test(63) {
+		t.Fatal("bit 63 should be clear")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+}
+
+func TestSetAllClearAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.SetAll()
+		if s.Count() != n {
+			t.Fatalf("n=%d: SetAll Count = %d", n, s.Count())
+		}
+		if n > 0 && s.None() {
+			t.Fatalf("n=%d: None after SetAll", n)
+		}
+		s.ClearAll()
+		if s.Any() {
+			t.Fatalf("n=%d: Any after ClearAll", n)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestNextSetAndForEach(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(200) != -1 {
+		t.Fatal("NextSet past end should be -1")
+	}
+	if s.NextSet(-5) != 3 {
+		t.Fatal("NextSet with negative start should clamp")
+	}
+}
+
+func TestAnyInRange(t *testing.T) {
+	s := New(300)
+	s.Set(150)
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 150, false}, {150, 151, true}, {0, 300, true},
+		{151, 300, false}, {64, 192, true}, {128, 150, false},
+	}
+	for _, c := range cases {
+		if got := s.AnyInRange(c.lo, c.hi); got != c.want {
+			t.Errorf("AnyInRange(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 3 || !u.Test(1) || !u.Test(50) || !u.Test(99) {
+		t.Fatal("Or wrong")
+	}
+	i := a.Clone()
+	i.And(b)
+	if i.Count() != 1 || !i.Test(50) {
+		t.Fatal("And wrong")
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 1 || !d.Test(1) {
+		t.Fatal("AndNot wrong")
+	}
+	c := New(100)
+	c.CopyFrom(a)
+	if c.Count() != a.Count() || !c.Test(1) || !c.Test(50) {
+		t.Fatal("CopyFrom wrong")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+// TestQuickCountMatchesMap cross-checks against a map-based model under
+// random operation sequences.
+func TestQuickCountMatchesMap(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 257
+		s := New(n)
+		model := map[int]bool{}
+		for k := 0; k < int(nOps); k++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+				model[i] = true
+			} else {
+				s.Clear(i)
+				delete(model, i)
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeMorgan checks ¬(a ∪ b) = ¬a ∩ ¬b over random sets via
+// AndNot identities: (u AndNot a) AndNot b == u AndNot (a Or b).
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(aBits, bBits []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		for _, i := range aBits {
+			a.Set(int(i))
+		}
+		for _, i := range bBits {
+			b.Set(int(i))
+		}
+		lhs := New(n)
+		lhs.SetAll()
+		lhs.AndNot(a)
+		lhs.AndNot(b)
+		ab := a.Clone()
+		ab.Or(b)
+		rhs := New(n)
+		rhs.SetAll()
+		rhs.AndNot(ab)
+		if lhs.Count() != rhs.Count() {
+			return false
+		}
+		rhs.AndNot(lhs)
+		return rhs.None()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package diskio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := MustNew(t.TempDir(), Unthrottled)
+	f, err := d.Create("sub/dir/file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("destination sorted sub shards")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q, want %q", got, payload)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats().Snapshot()
+	if st.BytesWritten != int64(len(payload)) || st.BytesRead != int64(len(payload)) {
+		t.Fatalf("counters wrong: %+v", st)
+	}
+}
+
+func TestSequentialVsSeekAccounting(t *testing.T) {
+	d := MustNew(t.TempDir(), Unthrottled)
+	f, err := d.Create("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1024)
+	// Sequential writes: only the implicit first access may seek.
+	for i := 0; i < 8; i++ {
+		if _, err := f.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := d.Stats().Seeks.Load()
+	// Backward writes: every access is a discontinuity.
+	for i := 7; i >= 0; i-- {
+		if _, err := f.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back := d.Stats().Seeks.Load() - seq
+	// Seeks counter only increments when the profile charges for seeks;
+	// with Unthrottled (Seek=0) it stays zero.
+	if seq != 0 || back != 0 {
+		t.Fatalf("unthrottled profile should not count seeks, got %d/%d", seq, back)
+	}
+
+	// With a seeky profile, contiguity matters.
+	d2 := MustNew(t.TempDir(), Profile{Name: "seeky", Seek: time.Nanosecond})
+	f2, err := d2.Create("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := f2.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d2.Stats().Seeks.Load(); got != 0 {
+		t.Fatalf("sequential writes counted %d seeks", got)
+	}
+	for i := 7; i >= 0; i-- {
+		if _, err := f2.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d2.Stats().Seeks.Load(); got != 8 {
+		t.Fatalf("backward writes counted %d seeks, want 8", got)
+	}
+}
+
+func TestThrottleChargesDelay(t *testing.T) {
+	var slept time.Duration
+	d := MustNew(t.TempDir(), Profile{Name: "slow", ReadBW: 1e6, WriteBW: 1e6})
+	d.sleep = func(dur time.Duration) { slept += dur }
+	f, err := d.Create("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<20) // 1 MiB at 1 MB/s ≈ 1.05s
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats().Snapshot()
+	if st.SimulatedDelay < 900*time.Millisecond {
+		t.Fatalf("simulated delay %v, want ~1s", st.SimulatedDelay)
+	}
+	if slept < 900*time.Millisecond {
+		t.Fatalf("slept %v, want ~1s", slept)
+	}
+}
+
+func TestDebtBatchesSmallCharges(t *testing.T) {
+	sleeps := 0
+	d := MustNew(t.TempDir(), Profile{Name: "seeky", Seek: 100 * time.Microsecond})
+	d.sleep = func(time.Duration) { sleeps++ }
+	f, err := d.Create("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	// 100 seeks × 100µs = 10ms owed; at a 2ms slice that is ≤ 5 sleeps,
+	// not 100.
+	for i := 0; i < 100; i++ {
+		if _, err := f.WriteAt(b[:], int64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sleeps > 10 {
+		t.Fatalf("%d sleeps for 100 small charges; debt batching broken", sleeps)
+	}
+	if d.Stats().SimulatedDelay.Load() < int64(9*time.Millisecond) {
+		t.Fatalf("delay accounting lost charges: %v", d.Stats().Snapshot())
+	}
+}
+
+func TestTimeScaleDividesDelay(t *testing.T) {
+	var slept time.Duration
+	d := MustNew(t.TempDir(), Profile{Name: "scaled", WriteBW: 1e6, TimeScale: 100})
+	d.sleep = func(dur time.Duration) { slept += dur }
+	f, _ := d.Create("f.bin")
+	defer f.Close()
+	if _, err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	if slept > 50*time.Millisecond {
+		t.Fatalf("TimeScale=100 should shrink ~1s to ~10ms, slept %v", slept)
+	}
+}
+
+func TestSeekerReaderWriter(t *testing.T) {
+	d := MustNew(t.TempDir(), Unthrottled)
+	f, err := d.Create("f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := io.WriteString(f, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(6, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(f, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "world" {
+		t.Fatalf("got %q", got)
+	}
+	if pos, err := f.Seek(-5, io.SeekEnd); err != nil || pos != 6 {
+		t.Fatalf("SeekEnd: pos=%d err=%v", pos, err)
+	}
+	if _, err := f.Seek(-100, io.SeekStart); err == nil {
+		t.Fatal("negative seek should error")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence should error")
+	}
+	sz, err := f.Size()
+	if err != nil || sz != 11 {
+		t.Fatalf("Size=%d err=%v", sz, err)
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	d := MustNew(t.TempDir(), Unthrottled)
+	if _, err := d.Open("nope.bin"); err == nil {
+		t.Fatal("expected error opening missing file")
+	}
+	if d.Exists("nope.bin") {
+		t.Fatal("Exists should be false")
+	}
+}
+
+func TestRemoveAndReset(t *testing.T) {
+	d := MustNew(t.TempDir(), Unthrottled)
+	f, _ := d.Create("f.bin")
+	f.WriteAt([]byte("x"), 0)
+	f.Close()
+	if !d.Exists("f.bin") {
+		t.Fatal("file should exist")
+	}
+	if err := d.Remove("f.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("f.bin") {
+		t.Fatal("file should be gone")
+	}
+	d.ResetStats()
+	if s := d.Stats().Snapshot(); s.Total() != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	a := StatsSnapshot{BytesRead: 10, BytesWritten: 20, Seeks: 3}
+	b := StatsSnapshot{BytesRead: 4, BytesWritten: 5, Seeks: 1}
+	got := a.Sub(b)
+	if got.BytesRead != 6 || got.BytesWritten != 15 || got.Seeks != 2 {
+		t.Fatalf("Sub wrong: %+v", got)
+	}
+	if got.Total() != 21 {
+		t.Fatalf("Total = %d", got.Total())
+	}
+	if got.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,110 @@
+// Package dynamic adds support for graphs that change over time — the
+// extension the paper names as future work ("NXgraph will be extended to
+// support dynamic change on graph structure", §VI).
+//
+// The model is merge-rebuild: an Updater accumulates edge insertions and
+// removals against a base DSSS store, expressed in the graph's *original
+// index space* (the ids of the raw input, which stay stable across
+// rebuilds — dense ids do not, because the degreer recompacts). Rebuild
+// streams the base store's edges through the mutation set and
+// re-preprocesses into a fresh store. This preserves every DSSS invariant
+// by construction and costs one sharding pass, which the paper's own
+// preprocessing already budgets for.
+package dynamic
+
+import (
+	"fmt"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
+)
+
+// Updater accumulates structural changes against a base store.
+type Updater struct {
+	base    *storage.Store
+	idmap   []uint64 // dense id -> original index
+	added   []graph.IndexEdge
+	removed map[[2]uint64]int // index-space pair -> copies to drop (-1 = all)
+}
+
+// NewUpdater prepares an updater over base.
+func NewUpdater(base *storage.Store) (*Updater, error) {
+	idmap, err := base.IDMap()
+	if err != nil {
+		return nil, err
+	}
+	return &Updater{base: base, idmap: idmap, removed: make(map[[2]uint64]int)}, nil
+}
+
+// AddEdge schedules insertion of an edge in original index space. New
+// vertices (indices the base graph never saw) are allowed.
+func (u *Updater) AddEdge(src, dst uint64, w float32) {
+	u.added = append(u.added, graph.IndexEdge{Src: src, Dst: dst, Weight: w})
+}
+
+// RemoveEdge schedules removal of one copy of the edge (src, dst); call
+// repeatedly to drop parallel copies, or use RemoveAllEdges.
+func (u *Updater) RemoveEdge(src, dst uint64) {
+	k := [2]uint64{src, dst}
+	if u.removed[k] >= 0 {
+		u.removed[k]++
+	}
+}
+
+// RemoveAllEdges schedules removal of every copy of (src, dst).
+func (u *Updater) RemoveAllEdges(src, dst uint64) {
+	u.removed[[2]uint64{src, dst}] = -1
+}
+
+// PendingAdds returns the number of scheduled insertions.
+func (u *Updater) PendingAdds() int { return len(u.added) }
+
+// Rebuild merges the base store with the scheduled mutations and writes a
+// new store at dir on disk. The base store is left untouched and stays
+// readable. Vertices that lose their last edge disappear (the degreer's
+// isolated-vertex rule), and brand-new vertices get ids.
+func (u *Updater) Rebuild(disk *diskio.Disk, dir string, opt preprocess.Options) (*preprocess.Result, error) {
+	meta := u.base.Meta()
+	merged := make([]graph.IndexEdge, 0, meta.NumEdges+int64(len(u.added)))
+	drop := make(map[[2]uint64]int, len(u.removed))
+	for k, v := range u.removed {
+		drop[k] = v
+	}
+	err := u.base.ForEachEdge(func(src, dst uint32, w float32) error {
+		e := graph.IndexEdge{Src: u.idmap[src], Dst: u.idmap[dst], Weight: w}
+		k := [2]uint64{e.Src, e.Dst}
+		if c, ok := drop[k]; ok {
+			if c == -1 {
+				return nil // drop all copies
+			}
+			if c > 0 {
+				drop[k] = c - 1
+				return nil
+			}
+		}
+		merged = append(merged, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range u.added {
+		k := [2]uint64{e.Src, e.Dst}
+		if c, ok := drop[k]; ok {
+			if c == -1 {
+				continue
+			}
+			if c > 0 {
+				drop[k] = c - 1
+				continue
+			}
+		}
+		merged = append(merged, e)
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("dynamic: rebuild would produce an empty graph")
+	}
+	return preprocess.FromIndexEdges(disk, dir, merged, opt)
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/storage"
+)
+
+// Strategy identifies an update strategy (paper §III-B).
+type Strategy int
+
+const (
+	// Auto selects the fastest valid strategy from the memory budget:
+	// SPU when two copies of all intervals fit, otherwise MPU (which
+	// degenerates to DPU when not even one interval pair fits).
+	Auto Strategy = iota
+	// SPU is Single-Phase Update: ping-pong intervals resident in
+	// memory, sub-shards streamed (or cached when the budget allows).
+	SPU
+	// DPU is Double-Phase Update: fully disk-based, ToHub + FromHub.
+	DPU
+	// MPU is Mixed-Phase Update: Q resident intervals handled SPU-style,
+	// the rest via hubs.
+	MPU
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case SPU:
+		return "spu"
+	case DPU:
+		return "dpu"
+	case MPU:
+		return "mpu"
+	}
+	return "unknown"
+}
+
+// SyncMode selects how worker updates are synchronized (paper §IV prelude:
+// the callback and interval-lock implementations).
+type SyncMode int
+
+const (
+	// Callback schedules conflict-free destination ranges and joins
+	// workers with completion signals; no locks are taken on attribute
+	// data.
+	Callback SyncMode = iota
+	// Lock serializes whole destination intervals with a mutex, taking
+	// one task per sub-shard.
+	Lock
+)
+
+func (m SyncMode) String() string {
+	if m == Lock {
+		return "lock"
+	}
+	return "callback"
+}
+
+// Order is the Table IV ablation knob: how edges inside a sub-shard are
+// traversed and parallelized.
+type Order int
+
+const (
+	// DstSortedFine is NXgraph's destination-sorted order with
+	// fine-grained (per destination range) parallelism.
+	DstSortedFine Order = iota
+	// SrcSortedCoarse emulates the GraphChi-style source-sorted order
+	// with coarse-grained (per sub-shard, interval-locked) parallelism.
+	SrcSortedCoarse
+)
+
+func (o Order) String() string {
+	if o == SrcSortedCoarse {
+		return "src-sorted-coarse"
+	}
+	return "dst-sorted-fine"
+}
+
+// Ba is the attribute size in bytes (float64), matching the paper's
+// PageRank accounting.
+const Ba = 8
+
+// Config tunes an Engine.
+type Config struct {
+	// Threads is the worker pool size; 0 means GOMAXPROCS.
+	Threads int
+	// MemoryBudget is BM in bytes; 0 means unlimited.
+	MemoryBudget int64
+	// Strategy picks the update strategy; Auto adapts to MemoryBudget.
+	Strategy Strategy
+	// Sync picks the synchronization mechanism.
+	Sync SyncMode
+	// Order is the Table IV ablation (destination- vs source-sorted).
+	Order Order
+	// MaxIterations caps the number of iterations; 0 means run until
+	// every interval is inactive.
+	MaxIterations int
+	// ChunkDsts is the number of distinct destinations per fine-grained
+	// task; 0 selects a default.
+	ChunkDsts int
+}
+
+func (c *Config) threads() int {
+	if c.Threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Threads
+}
+
+func (c *Config) chunk() int {
+	if c.ChunkDsts <= 0 {
+		return 2048
+	}
+	return c.ChunkDsts
+}
+
+// Engine executes Programs over one DSSS store.
+type Engine struct {
+	store *storage.Store
+	cfg   Config
+
+	outDeg []uint32 // forward out-degrees
+	inDeg  []uint32 // forward in-degrees (= reverse out-degrees)
+}
+
+// New creates an engine over store.
+func New(store *storage.Store, cfg Config) (*Engine, error) {
+	out, in, err := store.Degrees()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{store: store, cfg: cfg, outDeg: out, inDeg: in}, nil
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// chooseStrategy resolves Auto against the memory budget, following
+// §III-B: SPU needs 2·n·Ba for the ping-pong intervals; otherwise MPU with
+// Q = ⌊BM/(2nBa)·P⌋ resident intervals, which is DPU when Q = 0.
+func (e *Engine) chooseStrategy() (Strategy, int) {
+	m := e.store.Meta()
+	P := m.P
+	if e.cfg.Strategy == SPU {
+		return SPU, P
+	}
+	if e.cfg.Strategy == DPU {
+		return DPU, 0
+	}
+	pingPong := 2 * int64(m.NumVertices) * Ba
+	bm := e.cfg.MemoryBudget
+	if bm <= 0 || bm >= pingPong {
+		if e.cfg.Strategy == MPU {
+			return MPU, P
+		}
+		return SPU, P
+	}
+	q := int(float64(bm) / float64(pingPong) * float64(P))
+	if q > P {
+		q = P
+	}
+	if e.cfg.Strategy == Auto && q == 0 {
+		return DPU, 0
+	}
+	return MPU, q
+}
+
+// Result reports one program execution.
+type Result struct {
+	// Attrs holds the final attribute of every vertex (dense id order).
+	Attrs []float64
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Strategy is the strategy actually used (after Auto resolution).
+	Strategy Strategy
+	// ResidentIntervals is Q, the number of memory-resident intervals
+	// (P for SPU, 0 for DPU).
+	ResidentIntervals int
+	// EdgesTraversed counts edge visits over all iterations (drives the
+	// MTEPS metric of Fig 11).
+	EdgesTraversed int64
+	// IO is the store disk traffic during the run.
+	IO diskio.StatsSnapshot
+	// Elapsed is wall-clock run time.
+	Elapsed time.Duration
+}
+
+// MTEPS returns millions of traversed edges per second.
+func (r *Result) MTEPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / 1e6 / r.Elapsed.Seconds()
+}
+
+// Run executes p to completion (inactivity or MaxIterations) in the given
+// direction and returns the final attributes.
+func (e *Engine) Run(p Program, dir Direction) (*Result, error) {
+	run, err := e.NewRun(p, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer run.Close()
+	for {
+		more, err := run.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	return run.Finish()
+}
+
+// validateDirection checks the store supports dir.
+func (e *Engine) validateDirection(dir Direction) error {
+	if dir != Forward && !e.store.Meta().HasTranspose {
+		return fmt.Errorf("engine: direction %s requires a store preprocessed with Transpose", dir)
+	}
+	return nil
+}
+
+// degreesFor returns the source-degree array for gathering in the given
+// traversal direction.
+func (e *Engine) degreesFor(dir Direction) (fwd, rev []uint32) {
+	return e.outDeg, e.inDeg
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"sort"
+
+	"nxgraph/internal/bitset"
+	"nxgraph/internal/storage"
+)
+
+// view is a window over per-vertex attributes: vals[v-base] is the
+// attribute of vertex v. A full-array view has base 0.
+type view struct {
+	vals []float64
+	base uint32
+}
+
+func (v view) at(id uint32) float64 { return v.vals[id-v.base] }
+
+// gatherCSR processes destinations k0 ≤ k < k1 of a destination-sorted
+// sub-shard: for each distinct destination it folds the Gather
+// contributions of its (source-sorted) in-edges with Sum and folds the
+// result into acc. Distinct destination ranges are disjoint, so concurrent
+// calls with non-overlapping [k0,k1) need no synchronization — this is the
+// fine-grained parallelism of paper §III-D.
+func gatherCSR(p Program, deg []uint32, mask *bitset.Set, ss *storage.SubShard, src view, acc view, k0, k1 int) {
+	zero := p.Zero()
+	for k := k0; k < k1; k++ {
+		local := zero
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		for t := lo; t < hi; t++ {
+			s := ss.Srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			w := float32(1)
+			if ss.Weights != nil {
+				w = ss.Weights[t]
+			}
+			local = p.Sum(local, p.Gather(src.at(s), deg[s], w))
+		}
+		d := ss.Dsts[k]
+		acc.vals[d-acc.base] = p.Sum(acc.vals[d-acc.base], local)
+	}
+}
+
+// gatherToHub is gatherCSR writing per-destination partials into out[k]
+// (parallel to ss.Dsts) instead of a dense accumulator — the ToHub kernel.
+// out[k] must be pre-set to Zero by the caller when reused.
+func gatherToHub(p Program, deg []uint32, mask *bitset.Set, ss *storage.SubShard, src view, out []float64, k0, k1 int) {
+	zero := p.Zero()
+	for k := k0; k < k1; k++ {
+		local := zero
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		for t := lo; t < hi; t++ {
+			s := ss.Srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			w := float32(1)
+			if ss.Weights != nil {
+				w = ss.Weights[t]
+			}
+			local = p.Sum(local, p.Gather(src.at(s), deg[s], w))
+		}
+		out[k] = local
+	}
+}
+
+// srcSortedEdges is the Table IV ablation form of a sub-shard: plain edge
+// triples ordered by source id (GraphChi's ordering).
+type srcSortedEdges struct {
+	srcs, dsts []uint32
+	ws         []float32
+}
+
+// toSrcSorted flattens a destination-sorted sub-shard into source order.
+func toSrcSorted(ss *storage.SubShard) *srcSortedEdges {
+	m := ss.NumEdges()
+	e := &srcSortedEdges{
+		srcs: make([]uint32, m),
+		dsts: make([]uint32, m),
+	}
+	if ss.Weights != nil {
+		e.ws = make([]float32, m)
+	}
+	idx := 0
+	for k := range ss.Dsts {
+		for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+			e.srcs[idx] = ss.Srcs[t]
+			e.dsts[idx] = ss.Dsts[k]
+			if e.ws != nil {
+				e.ws[idx] = ss.Weights[t]
+			}
+			idx++
+		}
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return e.srcs[order[a]] < e.srcs[order[b]] })
+	out := &srcSortedEdges{
+		srcs: make([]uint32, m),
+		dsts: make([]uint32, m),
+	}
+	if e.ws != nil {
+		out.ws = make([]float32, m)
+	}
+	for i, o := range order {
+		out.srcs[i] = e.srcs[o]
+		out.dsts[i] = e.dsts[o]
+		if e.ws != nil {
+			out.ws[i] = e.ws[o]
+		}
+	}
+	return out
+}
+
+// gatherSrcSorted scatters contributions edge-by-edge in source order —
+// the coarse-grained comparison point of Table IV. The caller must hold
+// the destination interval's lock; destinations are visited in effectively
+// random order, so per-destination folding cannot be batched.
+func gatherSrcSorted(p Program, deg []uint32, mask *bitset.Set, e *srcSortedEdges, src view, acc view) {
+	for t := range e.srcs {
+		s := e.srcs[t]
+		if mask != nil && mask.Test(int(s)) {
+			continue
+		}
+		w := float32(1)
+		if e.ws != nil {
+			w = e.ws[t]
+		}
+		d := e.dsts[t]
+		acc.vals[d-acc.base] = p.Sum(acc.vals[d-acc.base], p.Gather(src.at(s), deg[s], w))
+	}
+}
+
+// foldHub folds hub entries with destination index in [k0, k1) of the
+// entry arrays into acc — the FromHub kernel.
+func foldHub(p Program, dsts []uint32, vals []float64, acc view, k0, k1 int) {
+	for k := k0; k < k1; k++ {
+		d := dsts[k]
+		acc.vals[d-acc.base] = p.Sum(acc.vals[d-acc.base], vals[k])
+	}
+}
+
+// applyRange applies accumulated contributions for vertices [v0, v1):
+// newAttr[v-base] = Apply(v, old[v-base], acc[v-base]). It writes results
+// into out (which may alias acc) and reports whether any vertex changed.
+// Masked vertices keep their old attribute.
+func applyRange(p Program, mask *bitset.Set, old, acc, out view, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		if mask != nil && mask.Test(int(v)) {
+			out.vals[v-out.base] = old.at(v)
+			continue
+		}
+		nv, ch := p.Apply(v, old.at(v), acc.at(v))
+		out.vals[v-out.base] = nv
+		if ch {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// fill sets vals[i] = x for all i.
+func fill(vals []float64, x float64) {
+	for i := range vals {
+		vals[i] = x
+	}
+}

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for i in [0, n) on up to `threads` goroutines,
+// pulling indices from a shared atomic counter (work stealing keeps skewed
+// sub-shards from serializing the pool). It returns after every call has
+// completed — the "callback" completion signalling of the paper's first
+// synchronization mechanism.
+func parallelFor(threads, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkRanges splits [0, n) into ranges of at most size, returning the
+// boundaries (len = number of chunks + 1).
+func chunkRanges(n, size int) []int {
+	if size <= 0 {
+		size = 1
+	}
+	bounds := []int{0}
+	for b := 0; b < n; {
+		b += size
+		if b > n {
+			b = n
+		}
+		bounds = append(bounds, b)
+	}
+	if n == 0 {
+		bounds = append(bounds, 0)
+	}
+	return bounds
+}

@@ -1,0 +1,89 @@
+// Package engine implements the NXgraph computation engine: the update
+// model of paper §II-B driven by the three update strategies of §III-B
+// (SPU, DPU, MPU) with the fine-grained sub-shard parallelism of §III-D.
+package engine
+
+// Program expresses one graph computation in the gather–sum–apply form
+// that Algorithm 1's Update(Ij, Ii, SSi.j) decomposes into. For every edge
+// (s → t) in an active sub-shard the engine computes
+// Gather(attr[s], deg[s], w); contributions to the same destination are
+// folded with Sum (which must be associative and commutative with identity
+// Zero); at the end of the iteration Apply folds the accumulated value
+// into the destination's attribute and reports whether it changed.
+//
+// The hubs of DPU hold exactly Sum-combined partial aggregates, so a
+// single Program definition drives all three update strategies.
+//
+// Activity: a vertex that changed activates its interval for the next
+// iteration; sub-shards whose source interval is inactive are skipped.
+// This skipping is sound for monotone programs (BFS, WCC, SCC, SSSP) where
+// earlier contributions are already folded into destination attributes.
+// Non-monotone programs (PageRank, HITS) must report changed=true until
+// they genuinely converge.
+type Program interface {
+	// Name labels the program in logs and results.
+	Name() string
+	// Zero is the identity of Sum.
+	Zero() float64
+	// Init supplies vertex v's initial attribute and activity.
+	Init(v uint32) (attr float64, active bool)
+	// Gather computes the contribution of one edge. srcDeg is the
+	// source's degree in the traversal direction (out-degree for forward
+	// edges, in-degree when traversing the transpose).
+	Gather(srcAttr float64, srcDeg uint32, weight float32) float64
+	// Sum folds two contributions.
+	Sum(a, b float64) float64
+	// Apply folds the iteration's accumulated contribution acc into the
+	// old attribute, returning the new attribute and whether it changed.
+	// acc is Zero when no contribution arrived.
+	Apply(v uint32, old, acc float64) (float64, bool)
+}
+
+// GlobalAggregator is an optional Program extension for computations that
+// need a global reduction over the current attributes before each
+// iteration (e.g. PageRank's dangling-vertex mass, HITS' norm). The engine
+// computes g = ⊕ AggVertex(v, attr[v], deg[v]) over all vertices and calls
+// SetGlobal(g) before any Apply of the iteration. All strategies compute
+// the aggregate while attributes stream through memory, so it adds no
+// extra disk traffic.
+type GlobalAggregator interface {
+	AggZero() float64
+	AggVertex(v uint32, attr float64, deg uint32) float64
+	AggCombine(a, b float64) float64
+	SetGlobal(g float64)
+}
+
+// DenseApply is an optional marker for programs whose Apply must run for
+// every vertex in every iteration even when no contribution arrived (i.e.
+// programs violating the default contract Apply(v, old, Zero) == (old,
+// false)). Programs with a GlobalAggregator get this behaviour implicitly.
+type DenseApply interface {
+	DenseApply()
+}
+
+// Direction selects which edge orientation a Run traverses.
+type Direction int
+
+const (
+	// Forward traverses stored edges source→destination.
+	Forward Direction = iota
+	// Reverse traverses the transposed replica (requires a store built
+	// with Transpose).
+	Reverse
+	// Both traverses forward and reverse edges in every iteration,
+	// which makes min/max label propagation treat the graph as
+	// undirected (used by WCC).
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Forward:
+		return "forward"
+	case Reverse:
+		return "reverse"
+	case Both:
+		return "both"
+	}
+	return "unknown"
+}

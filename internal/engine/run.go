@@ -1,0 +1,400 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nxgraph/internal/bitset"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/storage"
+)
+
+// Run is one program execution in progress. It exposes iteration-level
+// stepping so algorithms can orchestrate multi-phase computations (SCC's
+// alternating forward/backward fixpoints, HITS' alternating half-steps).
+//
+// The implementation realizes all three update strategies in one body,
+// exactly as the paper frames them: MPU with Q resident intervals, where
+// Q = P degenerates to SPU (no hubs, no attribute I/O) and Q = 0 to DPU
+// (every interval via hubs). Each iteration runs:
+//
+//	row phase     — Algorithm 7 lines 1–16: for every active source
+//	                interval, gather into resident accumulators
+//	                (SPU-like) and into hubs for on-disk destinations
+//	                (ToHub);
+//	column phase  — lines 17–26: for every on-disk destination interval,
+//	                fold resident-source contributions and hubs, apply,
+//	                write back (FromHub);
+//	apply phase   — finalize resident intervals and ping-pong swap.
+type Run struct {
+	e       *Engine
+	p       Program
+	agg     GlobalAggregator
+	dense   bool
+	dir     Direction
+	strat   Strategy
+	q       int
+	resEnd  uint32
+	threads int
+	chunk   int
+
+	curr, next []float64
+	active     []bool
+	mask       *bitset.Set
+
+	attrs       *storage.AttrStore
+	hubs        [2]*storage.HubStore
+	hubRowValid [2][]bool
+
+	rowCache  [2][][]*storage.SubShard
+	flatCache [2][][]*srcSortedEdges // Table IV ablation representation
+
+	locks []sync.Mutex
+
+	iter     int
+	edges    int64
+	finished bool
+	closed   bool
+
+	loadBuf []float64 // reusable interval attr buffer (row phase)
+	accBuf  []float64 // reusable column accumulator
+	oldBuf  []float64 // reusable column old-attr buffer
+
+	errMu    sync.Mutex
+	asyncErr error
+
+	startIO diskio.StatsSnapshot
+	started time.Time
+}
+
+// NewRun initializes a run of p over the engine's store in direction dir.
+func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
+	if err := e.validateDirection(dir); err != nil {
+		return nil, err
+	}
+	m := e.store.Meta()
+	strat, q := e.chooseStrategy()
+	if e.cfg.Order == SrcSortedCoarse && q < m.P {
+		return nil, fmt.Errorf("engine: source-sorted ablation requires SPU (all intervals resident)")
+	}
+	r := &Run{
+		e:       e,
+		p:       p,
+		dir:     dir,
+		strat:   strat,
+		q:       q,
+		threads: e.cfg.threads(),
+		chunk:   e.cfg.chunk(),
+		active:  make([]bool, m.P),
+		started: time.Now(),
+		startIO: e.store.Disk().Stats().Snapshot(),
+	}
+	if a, ok := p.(GlobalAggregator); ok {
+		r.agg = a
+	}
+	if _, ok := p.(DenseApply); ok || r.agg != nil {
+		r.dense = true
+	}
+	size := m.IntervalSize()
+	r.resEnd = uint32(q) * size
+	if r.resEnd > m.NumVertices {
+		r.resEnd = m.NumVertices
+	}
+	r.curr = make([]float64, r.resEnd)
+	r.next = make([]float64, r.resEnd)
+	// Locks exist in every mode: Lock-mode gathering and the coarse
+	// source-sorted ablation both serialize on destination intervals.
+	r.locks = make([]sync.Mutex, m.P)
+	maxLen := 0
+	for k := 0; k < m.P; k++ {
+		if l := m.IntervalLen(k); l > maxLen {
+			maxLen = l
+		}
+	}
+	r.loadBuf = make([]float64, maxLen)
+	r.accBuf = make([]float64, maxLen)
+	r.oldBuf = make([]float64, maxLen)
+
+	if err := r.initAttrs(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if err := r.openHubs(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if err := r.buildEdgeCache(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// dirsUsed lists the transpose flags the run traverses (index 0 =
+// forward, 1 = reverse).
+func (r *Run) dirsUsed() []int {
+	switch r.dir {
+	case Forward:
+		return []int{0}
+	case Reverse:
+		return []int{1}
+	default:
+		return []int{0, 1}
+	}
+}
+
+// degOf returns the source-degree array for a traversal flag.
+func (r *Run) degOf(d int) []uint32 {
+	if d == 1 {
+		return r.e.inDeg
+	}
+	return r.e.outDeg
+}
+
+// primaryDeg is the degree array handed to the GlobalAggregator.
+func (r *Run) primaryDeg() []uint32 {
+	if r.dir == Reverse {
+		return r.e.inDeg
+	}
+	return r.e.outDeg
+}
+
+func (r *Run) setErr(err error) {
+	r.errMu.Lock()
+	if r.asyncErr == nil {
+		r.asyncErr = err
+	}
+	r.errMu.Unlock()
+}
+
+func (r *Run) takeErr() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	err := r.asyncErr
+	r.asyncErr = nil
+	return err
+}
+
+// initAttrs runs Program.Init over every vertex, populating resident
+// attributes in memory and on-disk intervals through the attribute store.
+func (r *Run) initAttrs() error {
+	m := r.e.store.Meta()
+	for v := uint32(0); v < r.resEnd; v++ {
+		attr, act := r.p.Init(v)
+		r.curr[v] = attr
+		if act {
+			r.active[m.IntervalOf(v)] = true
+		}
+	}
+	if r.q == m.P {
+		return nil
+	}
+	var err error
+	if r.attrs, err = r.e.store.OpenAttrs(); err != nil {
+		return err
+	}
+	for k := r.q; k < m.P; k++ {
+		lo, hi := m.IntervalRange(k)
+		buf := r.loadBuf[:hi-lo]
+		for v := lo; v < hi; v++ {
+			attr, act := r.p.Init(v)
+			buf[v-lo] = attr
+			if act {
+				r.active[k] = true
+			}
+		}
+		if err := r.attrs.WriteInterval(k, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Run) openHubs() error {
+	if r.q == r.e.store.Meta().P {
+		return nil
+	}
+	for _, d := range r.dirsUsed() {
+		h, err := r.e.store.OpenHubs(d == 1)
+		if err != nil {
+			return err
+		}
+		r.hubs[d] = h
+		r.hubRowValid[d] = make([]bool, r.e.store.Meta().P)
+	}
+	return nil
+}
+
+// buildEdgeCache caches whole sub-shard rows in memory while the budget
+// allows. Caching applies only when all intervals are resident (SPU):
+// under MPU/DPU the budget is, by definition, exhausted by intervals.
+func (r *Run) buildEdgeCache() error {
+	m := r.e.store.Meta()
+	if r.q < m.P {
+		return nil
+	}
+	budget := int64(-1) // unlimited
+	if bm := r.e.cfg.MemoryBudget; bm > 0 {
+		budget = bm - 2*int64(m.NumVertices)*Ba
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	dirs := r.dirsUsed()
+	for _, d := range dirs {
+		r.rowCache[d] = make([][]*storage.SubShard, m.P)
+		if r.e.cfg.Order == SrcSortedCoarse {
+			r.flatCache[d] = make([][]*srcSortedEdges, m.P)
+		}
+	}
+	used := int64(0)
+	for i := 0; i < m.P; i++ {
+		rowBytes := int64(0)
+		for _, d := range dirs {
+			infos := m.SubShards
+			if d == 1 {
+				infos = m.TSubShards
+			}
+			for j := 0; j < m.P; j++ {
+				rowBytes += infos[i*m.P+j].Length
+			}
+		}
+		if budget >= 0 && used+rowBytes > budget {
+			return nil // remaining rows stream from disk each iteration
+		}
+		used += rowBytes
+		for _, d := range dirs {
+			row := make([]*storage.SubShard, m.P)
+			for j := 0; j < m.P; j++ {
+				ss, err := r.e.store.ReadSubShard(i, j, d == 1)
+				if err != nil {
+					return err
+				}
+				row[j] = ss
+			}
+			r.rowCache[d][i] = row
+			if r.e.cfg.Order == SrcSortedCoarse {
+				flat := make([]*srcSortedEdges, m.P)
+				for j := 0; j < m.P; j++ {
+					flat[j] = toSrcSorted(row[j])
+				}
+				r.flatCache[d][i] = flat
+				r.rowCache[d][i] = nil // flattened form replaces CSR
+			}
+		}
+	}
+	return nil
+}
+
+// loadRowSubShard returns SS[i][j] for traversal flag d, from cache or
+// disk.
+func (r *Run) loadRowSubShard(d, i, j int) (*storage.SubShard, error) {
+	if r.rowCache[d] != nil && r.rowCache[d][i] != nil {
+		return r.rowCache[d][i][j], nil
+	}
+	return r.e.store.ReadSubShard(i, j, d == 1)
+}
+
+// Strategy returns the resolved update strategy.
+func (r *Run) Strategy() Strategy { return r.strat }
+
+// ResidentIntervals returns Q.
+func (r *Run) ResidentIntervals() int { return r.q }
+
+// Iterations returns the number of iterations executed so far.
+func (r *Run) Iterations() int { return r.iter }
+
+// SetMask installs a frozen-vertex mask: masked vertices neither emit nor
+// accept updates and keep their attribute. Pass nil to clear.
+func (r *Run) SetMask(m *bitset.Set) { r.mask = m }
+
+// ActivateAll marks every interval active, forcing at least one more full
+// iteration.
+func (r *Run) ActivateAll() {
+	for k := range r.active {
+		r.active[k] = true
+	}
+	r.finished = false
+}
+
+// ActivateVertex marks the interval owning v active.
+func (r *Run) ActivateVertex(v uint32) {
+	r.active[r.e.store.Meta().IntervalOf(v)] = true
+	r.finished = false
+}
+
+// ResetIterations zeroes the iteration counter (the MaxIterations budget),
+// for callers that drive multiple phases through one Run.
+func (r *Run) ResetIterations() { r.iter = 0; r.finished = false }
+
+// Attrs returns a snapshot of all vertex attributes.
+func (r *Run) Attrs() ([]float64, error) {
+	m := r.e.store.Meta()
+	out := make([]float64, m.NumVertices)
+	copy(out, r.curr)
+	for k := r.q; k < m.P; k++ {
+		lo, hi := m.IntervalRange(k)
+		if lo == hi {
+			continue
+		}
+		buf := out[lo:hi]
+		if err := r.attrs.ReadInterval(k, buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SetAttrs overwrites all vertex attributes.
+func (r *Run) SetAttrs(a []float64) error {
+	m := r.e.store.Meta()
+	if len(a) != int(m.NumVertices) {
+		return fmt.Errorf("engine: SetAttrs got %d values, want %d", len(a), m.NumVertices)
+	}
+	copy(r.curr, a[:r.resEnd])
+	for k := r.q; k < m.P; k++ {
+		lo, hi := m.IntervalRange(k)
+		if lo == hi {
+			continue
+		}
+		if err := r.attrs.WriteInterval(k, a[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases run resources.
+func (r *Run) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	if r.attrs != nil {
+		r.attrs.Close()
+	}
+	for _, h := range r.hubs {
+		if h != nil {
+			h.Close()
+		}
+	}
+}
+
+// Finish assembles the Result (final attributes plus counters). The run
+// remains usable afterwards.
+func (r *Run) Finish() (*Result, error) {
+	attrs, err := r.Attrs()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Attrs:             attrs,
+		Iterations:        r.iter,
+		Strategy:          r.strat,
+		ResidentIntervals: r.q,
+		EdgesTraversed:    r.edges,
+		IO:                r.e.store.Disk().Stats().Snapshot().Sub(r.startIO),
+		Elapsed:           time.Since(r.started),
+	}, nil
+}

@@ -1,0 +1,401 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nxgraph/internal/storage"
+)
+
+// Step executes one iteration (Algorithm 1's repeat body). It returns
+// false when the computation has terminated: every interval inactive, or
+// the MaxIterations budget exhausted.
+func (r *Run) Step() (bool, error) {
+	if r.closed {
+		return false, fmt.Errorf("engine: Step on closed run")
+	}
+	if r.finished {
+		return false, nil
+	}
+	if max := r.e.cfg.MaxIterations; max > 0 && r.iter >= max {
+		r.finished = true
+		return false, nil
+	}
+	anyActive := false
+	for _, a := range r.active {
+		if a {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		r.finished = true
+		return false, nil
+	}
+
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	dirs := r.dirsUsed()
+
+	// InitializeIteration: zero the resident accumulators.
+	zero := r.p.Zero()
+	bounds := chunkRanges(int(r.resEnd), 1<<16)
+	parallelFor(r.threads, len(bounds)-1, func(c int) {
+		fill(r.next[bounds[c]:bounds[c+1]], zero)
+	})
+
+	// Global aggregate over current attributes (resident part now,
+	// on-disk intervals as the row phase streams them through memory).
+	var aggVal float64
+	if r.agg != nil {
+		aggVal = r.agg.AggZero()
+		deg := r.primaryDeg()
+		for v := uint32(0); v < r.resEnd; v++ {
+			aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, r.curr[v], deg[v]))
+		}
+	}
+
+	// Row phase: SPU-like updates into resident accumulators, ToHub for
+	// on-disk destinations (Algorithm 7 lines 1-16).
+	for i := 0; i < P; i++ {
+		srcActive := r.active[i]
+		if i < Q {
+			if !srcActive {
+				continue
+			}
+			if err := r.processRow(i, view{r.curr, 0}, dirs); err != nil {
+				return false, err
+			}
+			continue
+		}
+		for _, d := range dirs {
+			if r.hubRowValid[d] != nil {
+				r.hubRowValid[d][i] = srcActive
+			}
+		}
+		if !srcActive && r.agg == nil {
+			continue
+		}
+		lo, hi := m.IntervalRange(i)
+		buf := r.loadBuf[:hi-lo]
+		if err := r.attrs.ReadInterval(i, buf); err != nil {
+			return false, err
+		}
+		if r.agg != nil {
+			deg := r.primaryDeg()
+			for v := lo; v < hi; v++ {
+				aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, buf[v-lo], deg[v]))
+			}
+		}
+		if !srcActive {
+			continue
+		}
+		if err := r.processRow(i, view{buf, lo}, dirs); err != nil {
+			return false, err
+		}
+	}
+	if r.agg != nil {
+		r.agg.SetGlobal(aggVal)
+	}
+
+	activeNext := make([]bool, P)
+
+	// Column phase: FromHub plus resident-source gathering for on-disk
+	// destination intervals (Algorithm 7 lines 17-26).
+	for j := Q; j < P; j++ {
+		touched := r.columnTouched(j, dirs)
+		if !touched && !r.dense {
+			continue
+		}
+		changed, err := r.processColumn(j, dirs, touched)
+		if err != nil {
+			return false, err
+		}
+		activeNext[j] = changed
+	}
+
+	// Apply phase for resident intervals, then ping-pong swap.
+	if err := r.applyResident(activeNext); err != nil {
+		return false, err
+	}
+	r.curr, r.next = r.next, r.curr
+	copy(r.active, activeNext)
+	r.iter++
+	return true, nil
+}
+
+// subShardInfosFor returns the sub-shard index for a traversal flag.
+func (r *Run) subShardInfosFor(d int) []storage.SubShardInfo {
+	m := r.e.store.Meta()
+	if d == 1 {
+		return m.TSubShards
+	}
+	return m.SubShards
+}
+
+// processRow executes row i of the sub-shard matrix with source attributes
+// src: destinations in resident intervals accumulate into r.next;
+// destinations in on-disk intervals are gathered into hubs (ToHub). All
+// work of one row is conflict-free — distinct destination ranges never
+// overlap across a row — so callback mode runs it lock-free.
+func (r *Run) processRow(i int, src view, dirs []int) error {
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	jmax := P
+	if i < Q {
+		jmax = Q // SS[i][j>=Q] with resident source is handled by the column phase
+	}
+	var tasks []func()
+	for _, d := range dirs {
+		deg := r.degOf(d)
+		infos := r.subShardInfosFor(d)
+		for j := 0; j < jmax; j++ {
+			if infos[i*P+j].Edges == 0 {
+				continue
+			}
+			if r.e.cfg.Order == SrcSortedCoarse {
+				flat, err := r.loadFlat(d, i, j)
+				if err != nil {
+					return err
+				}
+				r.edges += int64(len(flat.srcs))
+				lock := &r.locks[j]
+				acc := view{r.next, 0}
+				p, dd := r.p, deg
+				tasks = append(tasks, func() {
+					lock.Lock()
+					gatherSrcSorted(p, dd, r.mask, flat, src, acc)
+					lock.Unlock()
+				})
+				continue
+			}
+			ss, err := r.loadRowSubShard(d, i, j)
+			if err != nil {
+				return err
+			}
+			r.edges += int64(ss.NumEdges())
+			if j < Q {
+				tasks = append(tasks, r.gatherTasks(ss, deg, src, view{r.next, 0}, j)...)
+			} else {
+				tasks = append(tasks, r.hubTasks(d, i, j, ss, deg, src)...)
+			}
+		}
+	}
+	parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
+	return r.takeErr()
+}
+
+// loadFlat returns the source-sorted (Table IV ablation) form of
+// SS[i][j], from cache or converted on load.
+func (r *Run) loadFlat(d, i, j int) (*srcSortedEdges, error) {
+	if r.flatCache[d] != nil && r.flatCache[d][i] != nil {
+		return r.flatCache[d][i][j], nil
+	}
+	ss, err := r.e.store.ReadSubShard(i, j, d == 1)
+	if err != nil {
+		return nil, err
+	}
+	return toSrcSorted(ss), nil
+}
+
+// gatherTasks builds the fine-grained (callback) or interval-locked (lock)
+// tasks that fold sub-shard ss into a dense accumulator.
+func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, src, acc view, j int) []func() {
+	p := r.p
+	if r.e.cfg.Sync == Lock {
+		lock := &r.locks[j]
+		return []func(){func() {
+			lock.Lock()
+			gatherCSR(p, deg, r.mask, ss, src, acc, 0, ss.NumDsts())
+			lock.Unlock()
+		}}
+	}
+	bounds := chunkRanges(ss.NumDsts(), r.chunk)
+	tasks := make([]func(), 0, len(bounds)-1)
+	for c := 0; c < len(bounds)-1; c++ {
+		k0, k1 := bounds[c], bounds[c+1]
+		tasks = append(tasks, func() {
+			gatherCSR(p, deg, r.mask, ss, src, acc, k0, k1)
+		})
+	}
+	return tasks
+}
+
+// hubTasks builds the ToHub tasks for sub-shard SS[i][j]: gather partials
+// into a value array and write hub H[i][j] once the last chunk completes
+// (the callback mechanism).
+func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, src view) []func() {
+	p := r.p
+	vals := make([]float64, ss.NumDsts())
+	write := func() {
+		if err := r.hubs[d].Write(i, j, ss.Dsts, vals); err != nil {
+			r.setErr(err)
+		}
+	}
+	if r.e.cfg.Sync == Lock {
+		return []func(){func() {
+			gatherToHub(p, deg, r.mask, ss, src, vals, 0, ss.NumDsts())
+			write()
+		}}
+	}
+	bounds := chunkRanges(ss.NumDsts(), r.chunk)
+	var pending atomic.Int32
+	pending.Store(int32(len(bounds) - 1))
+	tasks := make([]func(), 0, len(bounds)-1)
+	for c := 0; c < len(bounds)-1; c++ {
+		k0, k1 := bounds[c], bounds[c+1]
+		tasks = append(tasks, func() {
+			gatherToHub(p, deg, r.mask, ss, src, vals, k0, k1)
+			if pending.Add(-1) == 0 {
+				write()
+			}
+		})
+	}
+	return tasks
+}
+
+// columnTouched reports whether any contribution can reach on-disk
+// destination interval j this iteration.
+func (r *Run) columnTouched(j int, dirs []int) bool {
+	P, Q := r.e.store.Meta().P, r.q
+	for _, d := range dirs {
+		infos := r.subShardInfosFor(d)
+		for i := 0; i < Q; i++ {
+			if r.active[i] && infos[i*P+j].Edges > 0 {
+				return true
+			}
+		}
+		for i := Q; i < P; i++ {
+			if r.hubRowValid[d][i] && infos[i*P+j].Dsts > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// processColumn runs the FromHub side for on-disk destination interval j:
+// gather resident-source sub-shards, fold hubs, apply, and persist.
+func (r *Run) processColumn(j int, dirs []int, touched bool) (bool, error) {
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	lo, hi := m.IntervalRange(j)
+	if lo == hi {
+		return false, nil
+	}
+	acc := r.accBuf[:hi-lo]
+	fill(acc, r.p.Zero())
+	accV := view{acc, lo}
+	if touched {
+		for _, d := range dirs {
+			deg := r.degOf(d)
+			infos := r.subShardInfosFor(d)
+			for i := 0; i < Q; i++ {
+				if !r.active[i] || infos[i*P+j].Edges == 0 {
+					continue
+				}
+				ss, err := r.e.store.ReadSubShard(i, j, d == 1)
+				if err != nil {
+					return false, err
+				}
+				r.edges += int64(ss.NumEdges())
+				tasks := r.gatherTasks(ss, deg, view{r.curr, 0}, accV, j)
+				parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
+			}
+			for i := Q; i < P; i++ {
+				if !r.hubRowValid[d][i] || infos[i*P+j].Dsts == 0 {
+					continue
+				}
+				dsts, vals, err := r.hubs[d].Read(i, j)
+				if err != nil {
+					return false, err
+				}
+				p := r.p
+				bounds := chunkRanges(len(dsts), r.chunk)
+				parallelFor(r.threads, len(bounds)-1, func(c int) {
+					foldHub(p, dsts, vals, accV, bounds[c], bounds[c+1])
+				})
+			}
+			if err := r.takeErr(); err != nil {
+				return false, err
+			}
+		}
+	}
+	old := r.oldBuf[:hi-lo]
+	if err := r.attrs.ReadInterval(j, old); err != nil {
+		return false, err
+	}
+	oldV := view{old, lo}
+	bounds := chunkRanges(int(hi-lo), r.chunk)
+	changed := make([]bool, len(bounds)-1)
+	p := r.p
+	parallelFor(r.threads, len(bounds)-1, func(c int) {
+		v0, v1 := lo+uint32(bounds[c]), lo+uint32(bounds[c+1])
+		changed[c] = applyRange(p, r.mask, oldV, accV, accV, v0, v1)
+	})
+	anyChanged := false
+	for _, c := range changed {
+		if c {
+			anyChanged = true
+			break
+		}
+	}
+	if err := r.attrs.WriteInterval(j, acc); err != nil {
+		return false, err
+	}
+	return anyChanged, nil
+}
+
+// applyResident finalizes resident intervals: Apply where contributions
+// (or a global aggregate) demand it, plain copy elsewhere.
+func (r *Run) applyResident(activeNext []bool) error {
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	dirs := r.dirsUsed()
+	type task struct {
+		j      int
+		v0, v1 uint32
+	}
+	var tasks []task
+	for j := 0; j < Q; j++ {
+		lo, hi := m.IntervalRange(j)
+		if lo == hi {
+			continue
+		}
+		touched := r.dense
+		if !touched {
+			for _, d := range dirs {
+				infos := r.subShardInfosFor(d)
+				for i := 0; i < P; i++ {
+					if r.active[i] && infos[i*P+j].Edges > 0 {
+						touched = true
+						break
+					}
+				}
+				if touched {
+					break
+				}
+			}
+		}
+		if !touched {
+			copy(r.next[lo:hi], r.curr[lo:hi])
+			continue
+		}
+		bounds := chunkRanges(int(hi-lo), r.chunk)
+		for c := 0; c < len(bounds)-1; c++ {
+			tasks = append(tasks, task{j, lo + uint32(bounds[c]), lo + uint32(bounds[c+1])})
+		}
+	}
+	changed := make([]bool, len(tasks))
+	p := r.p
+	currV, nextV := view{r.curr, 0}, view{r.next, 0}
+	parallelFor(r.threads, len(tasks), func(t int) {
+		changed[t] = applyRange(p, r.mask, currV, nextV, nextV, tasks[t].v0, tasks[t].v1)
+	})
+	for t, ch := range changed {
+		if ch {
+			activeNext[tasks[t].j] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package extsort implements an external merge sort for edge streams.
+//
+// The NXgraph preprocessor (paper §III-A) must order all edges of a graph
+// by (destination interval, source interval, destination, source) to build
+// destination-sorted sub-shards, and graphs can exceed memory. Sorter
+// accumulates edges in a bounded in-memory buffer, spills sorted runs to a
+// scratch disk, and merges the runs with a k-way heap on iteration.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/graph"
+)
+
+const edgeBytes = 12 // src uint32 + dst uint32 + weight float32
+
+// Less orders edges; it must be a strict weak ordering.
+type Less func(a, b graph.Edge) bool
+
+// Sorter sorts a stream of edges using bounded memory.
+type Sorter struct {
+	disk    *diskio.Disk
+	less    Less
+	maxRun  int // max edges held in memory before spilling
+	buf     []graph.Edge
+	runs    []string
+	runSeq  int
+	sealed  bool
+	scratch string
+}
+
+// NewSorter returns a Sorter spilling runs to disk. maxRunEdges bounds the
+// in-memory buffer; values below 1024 are raised to 1024.
+func NewSorter(disk *diskio.Disk, less Less, maxRunEdges int) *Sorter {
+	if maxRunEdges < 1024 {
+		maxRunEdges = 1024
+	}
+	return &Sorter{disk: disk, less: less, maxRun: maxRunEdges,
+		scratch: "extsort"}
+}
+
+// Add appends an edge to the sorter.
+func (s *Sorter) Add(e graph.Edge) error {
+	if s.sealed {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	s.buf = append(s.buf, e)
+	if len(s.buf) >= s.maxRun {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter) sortBuf() {
+	less := s.less
+	buf := s.buf
+	// insertion-free: use sort.Slice via closure
+	sortEdges(buf, less)
+}
+
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	s.sortBuf()
+	name := fmt.Sprintf("%s/run-%06d.bin", s.scratch, s.runSeq)
+	s.runSeq++
+	f, err := s.disk.Create(name)
+	if err != nil {
+		return fmt.Errorf("extsort: spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var rec [edgeBytes]byte
+	for _, e := range s.buf {
+		encodeEdge(&rec, e)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: spill write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: spill flush: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: spill close: %w", err)
+	}
+	s.runs = append(s.runs, name)
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// Sort finishes ingestion and returns an iterator over all edges in sorted
+// order. After Sort, Add must not be called. Close the iterator to release
+// scratch files.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if s.sealed {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.sealed = true
+	if len(s.runs) == 0 {
+		// Pure in-memory path.
+		s.sortBuf()
+		return &Iterator{mem: s.buf, sorter: s}, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	it := &Iterator{sorter: s}
+	for _, name := range s.runs {
+		f, err := s.disk.Open(name)
+		if err != nil {
+			it.Close()
+			return nil, fmt.Errorf("extsort: open run: %w", err)
+		}
+		rr := &runReader{f: f, br: bufio.NewReaderSize(f, 1<<20)}
+		if ok, err := rr.next(); err != nil {
+			it.Close()
+			return nil, err
+		} else if ok {
+			it.h = append(it.h, rr)
+		} else {
+			f.Close()
+		}
+	}
+	it.less = s.less
+	heap.Init(&runHeap{it})
+	return it, nil
+}
+
+func encodeEdge(rec *[edgeBytes]byte, e graph.Edge) {
+	binary.LittleEndian.PutUint32(rec[0:4], e.Src)
+	binary.LittleEndian.PutUint32(rec[4:8], e.Dst)
+	binary.LittleEndian.PutUint32(rec[8:12], floatBits(e.Weight))
+}
+
+func decodeEdge(rec *[edgeBytes]byte) graph.Edge {
+	return graph.Edge{
+		Src:    binary.LittleEndian.Uint32(rec[0:4]),
+		Dst:    binary.LittleEndian.Uint32(rec[4:8]),
+		Weight: bitsFloat(binary.LittleEndian.Uint32(rec[8:12])),
+	}
+}
+
+type runReader struct {
+	f    *diskio.File
+	br   *bufio.Reader
+	cur  graph.Edge
+	done bool
+}
+
+func (r *runReader) next() (bool, error) {
+	var rec [edgeBytes]byte
+	_, err := io.ReadFull(r.br, rec[:])
+	if err == io.EOF {
+		r.done = true
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("extsort: read run: %w", err)
+	}
+	r.cur = decodeEdge(&rec)
+	return true, nil
+}
+
+// Iterator yields edges in sorted order.
+type Iterator struct {
+	// in-memory path
+	mem []graph.Edge
+	pos int
+	// merge path
+	h      []*runReader
+	less   Less
+	sorter *Sorter
+	err    error
+}
+
+// Next returns the next edge. ok is false when the stream is exhausted or
+// an error occurred; check Err afterwards.
+func (it *Iterator) Next() (e graph.Edge, ok bool) {
+	if it.err != nil {
+		return graph.Edge{}, false
+	}
+	if it.mem != nil {
+		if it.pos >= len(it.mem) {
+			return graph.Edge{}, false
+		}
+		e = it.mem[it.pos]
+		it.pos++
+		return e, true
+	}
+	if len(it.h) == 0 {
+		return graph.Edge{}, false
+	}
+	top := it.h[0]
+	e = top.cur
+	more, err := top.next()
+	if err != nil {
+		it.err = err
+		return graph.Edge{}, false
+	}
+	if more {
+		heap.Fix(&runHeap{it}, 0)
+	} else {
+		top.f.Close()
+		heap.Pop(&runHeap{it})
+	}
+	return e, true
+}
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases scratch files.
+func (it *Iterator) Close() error {
+	for _, r := range it.h {
+		r.f.Close()
+	}
+	it.h = nil
+	if it.sorter != nil {
+		for _, name := range it.sorter.runs {
+			// Best effort: runs may already be gone.
+			_ = it.sorter.disk.Remove(name)
+		}
+		it.sorter.runs = nil
+	}
+	return nil
+}
+
+// runHeap adapts Iterator's reader slice to container/heap.
+type runHeap struct{ it *Iterator }
+
+func (h *runHeap) Len() int { return len(h.it.h) }
+func (h *runHeap) Less(i, j int) bool {
+	return h.it.less(h.it.h[i].cur, h.it.h[j].cur)
+}
+func (h *runHeap) Swap(i, j int) { h.it.h[i], h.it.h[j] = h.it.h[j], h.it.h[i] }
+func (h *runHeap) Push(x any)    { h.it.h = append(h.it.h, x.(*runReader)) }
+func (h *runHeap) Pop() any {
+	old := h.it.h
+	n := len(old)
+	x := old[n-1]
+	h.it.h = old[:n-1]
+	return x
+}

@@ -1,0 +1,53 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/graph"
+)
+
+func benchSort(b *testing.B, n, maxRun int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(4))
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: rng.Uint32() % 1e6, Dst: rng.Uint32() % 1e6}
+	}
+	b.SetBytes(int64(n) * edgeBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := diskio.MustNew(b.TempDir(), diskio.Unthrottled)
+		s := NewSorter(d, byDstSrcBench, maxRun)
+		for _, e := range edges {
+			if err := s.Add(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		if err := it.Err(); err != nil {
+			b.Fatal(err)
+		}
+		it.Close()
+	}
+}
+
+func byDstSrcBench(a, b graph.Edge) bool {
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	return a.Src < b.Src
+}
+
+func BenchmarkSortInMemory(b *testing.B)      { benchSort(b, 200_000, 1<<22) }
+func BenchmarkSortSpilling(b *testing.B)      { benchSort(b, 200_000, 16_384) }
+func BenchmarkSortManySmallRuns(b *testing.B) { benchSort(b, 200_000, 1024) }

@@ -1,0 +1,215 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/graph"
+)
+
+func byDstSrc(a, b graph.Edge) bool {
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	return a.Src < b.Src
+}
+
+func drain(t *testing.T, it *Iterator) []graph.Edge {
+	t.Helper()
+	var out []graph.Edge
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sortAll(t *testing.T, edges []graph.Edge, maxRun int) []graph.Edge {
+	t.Helper()
+	d := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	s := NewSorter(d, byDstSrc, maxRun)
+	for _, e := range edges {
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drain(t, it)
+}
+
+func randomEdges(rng *rand.Rand, n int) []graph.Edge {
+	edges := make([]graph.Edge, n)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    uint32(rng.Intn(1000)),
+			Dst:    uint32(rng.Intn(1000)),
+			Weight: rng.Float32(),
+		}
+	}
+	return edges
+}
+
+func TestInMemoryPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges := randomEdges(rng, 500)
+	got := sortAll(t, edges, 1<<20) // never spills
+	want := append([]graph.Edge(nil), edges...)
+	sort.SliceStable(want, func(i, j int) bool { return byDstSrc(want[i], want[j]) })
+	compare(t, got, want)
+}
+
+func TestSpillPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	edges := randomEdges(rng, 50_000)
+	got := sortAll(t, edges, 1024) // many runs (min run size)
+	want := append([]graph.Edge(nil), edges...)
+	sort.SliceStable(want, func(i, j int) bool { return byDstSrc(want[i], want[j]) })
+	compare(t, got, want)
+}
+
+func compare(t *testing.T, got, want []graph.Edge) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Keys must be non-decreasing and multiset equal; weights ride
+		// along. Compare exact (stable order differences between runs
+		// are allowed only among fully-equal keys, and our Less is a
+		// total order on (dst,src) with possible duplicates — compare
+		// key fields only).
+		if got[i].Dst != want[i].Dst || got[i].Src != want[i].Src {
+			t.Fatalf("edge %d: got (%d->%d), want (%d->%d)",
+				i, got[i].Src, got[i].Dst, want[i].Src, want[i].Dst)
+		}
+	}
+}
+
+func TestEmptySort(t *testing.T) {
+	got := sortAll(t, nil, 2048)
+	if len(got) != 0 {
+		t.Fatalf("empty sort returned %d edges", len(got))
+	}
+}
+
+func TestWeightsSurviveSpill(t *testing.T) {
+	d := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	s := NewSorter(d, byDstSrc, 1024)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := s.Add(graph.Edge{Src: uint32(i), Dst: uint32(i % 7), Weight: float32(i) / 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.Weight != float32(e.Src)/3 {
+			t.Fatalf("edge src=%d weight %v corrupted", e.Src, e.Weight)
+		}
+		seen++
+	}
+	it.Close()
+	if seen != n {
+		t.Fatalf("saw %d edges, want %d", seen, n)
+	}
+}
+
+func TestAddAfterSortFails(t *testing.T) {
+	d := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	s := NewSorter(d, byDstSrc, 2048)
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if err := s.Add(graph.Edge{}); err == nil {
+		t.Fatal("Add after Sort should fail")
+	}
+	if _, err := s.Sort(); err == nil {
+		t.Fatal("second Sort should fail")
+	}
+}
+
+func TestScratchFilesCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	d := diskio.MustNew(dir, diskio.Unthrottled)
+	s := NewSorter(d, byDstSrc, 1024)
+	for i := 0; i < 10_000; i++ {
+		s.Add(graph.Edge{Src: uint32(i), Dst: uint32(i * 7)})
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCount := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		drainCount++
+	}
+	it.Close()
+	if d.Exists("extsort/run-000000.bin") {
+		t.Fatal("scratch run not removed after Close")
+	}
+	if drainCount != 10_000 {
+		t.Fatalf("drained %d", drainCount)
+	}
+}
+
+// TestQuickMatchesSortSlice is the central property: external sort ==
+// in-memory sort for arbitrary inputs and run sizes.
+func TestQuickMatchesSortSlice(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		edges := randomEdges(rng, int(size))
+		d := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+		s := NewSorter(d, byDstSrc, 1024)
+		for _, e := range edges {
+			if err := s.Add(e); err != nil {
+				return false
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		want := append([]graph.Edge(nil), edges...)
+		sort.SliceStable(want, func(i, j int) bool { return byDstSrc(want[i], want[j]) })
+		for i := range want {
+			e, ok := it.Next()
+			if !ok || e.Dst != want[i].Dst || e.Src != want[i].Src {
+				return false
+			}
+		}
+		_, extra := it.Next()
+		return !extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

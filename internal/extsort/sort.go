@@ -1,0 +1,16 @@
+package extsort
+
+import (
+	"math"
+	"sort"
+
+	"nxgraph/internal/graph"
+)
+
+// sortEdges sorts edges in place by less.
+func sortEdges(edges []graph.Edge, less Less) {
+	sort.Slice(edges, func(i, j int) bool { return less(edges[i], edges[j]) })
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+func bitsFloat(b uint32) float32 { return math.Float32frombits(b) }

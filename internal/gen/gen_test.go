@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(DefaultRMAT(10, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(DefaultRMAT(10, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	c, err := RMAT(DefaultRMAT(10, 8, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSizesAndSkew(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(12, 16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 1<<12 {
+		t.Fatalf("n = %d", g.NumVertices)
+	}
+	if int64(len(g.Edges)) != 16<<12 {
+		t.Fatalf("m = %d", len(g.Edges))
+	}
+	// Power-law check: the top 1% of vertices by in-degree should hold
+	// far more than 1% of edges (heavy tail).
+	in := g.InDegrees()
+	sort.Slice(in, func(i, j int) bool { return in[i] > in[j] })
+	var top, total int64
+	cut := len(in) / 100
+	for i, d := range in {
+		total += int64(d)
+		if i < cut {
+			top += int64(d)
+		}
+	}
+	if float64(top) < 0.1*float64(total) {
+		t.Fatalf("top 1%% holds only %.1f%% of edges; degree distribution not skewed",
+			100*float64(top)/float64(total))
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 0, EdgeFactor: 1, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Fatal("scale 0 should fail")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 5, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2}); err == nil {
+		t.Fatal("edge factor 0 should fail")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 5, EdgeFactor: 1, A: 0.6, B: 0.3, C: 0.2}); err == nil {
+		t.Fatal("probabilities summing over 1 should fail")
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	cfg := DefaultRMAT(8, 4, 2)
+	cfg.Weighted = true
+	g, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("weight %v out of (0,1]", e.Weight)
+		}
+	}
+}
+
+func TestMeshStructure(t *testing.T) {
+	rows, cols := 10, 14
+	g, err := Mesh(rows, cols, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != uint32(rows*cols) {
+		t.Fatalf("n = %d", g.NumVertices)
+	}
+	// Horizontal + vertical + one diagonal per cell, both directions.
+	wantEdges := 2 * (rows*(cols-1) + (rows-1)*cols + (rows-1)*(cols-1))
+	if len(g.Edges) != wantEdges {
+		t.Fatalf("m = %d, want %d", len(g.Edges), wantEdges)
+	}
+	// Symmetric by construction.
+	type key struct{ a, b uint32 }
+	seen := map[key]int{}
+	for _, e := range g.Edges {
+		seen[key{e.Src, e.Dst}]++
+	}
+	for k, c := range seen {
+		if seen[key{k.b, k.a}] != c {
+			t.Fatalf("edge %v not symmetric", k)
+		}
+	}
+	// Average degree ≈ 6 (delaunay-like).
+	avg := float64(len(g.Edges)) / float64(g.NumVertices)
+	if avg < 4.5 || avg > 6.5 {
+		t.Fatalf("average degree %.2f not delaunay-like", avg)
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := Mesh(1, 5, 0); err == nil {
+		t.Fatal("1-row mesh should fail")
+	}
+}
+
+func TestMeshN(t *testing.T) {
+	g, err := MeshN(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 1<<10 {
+		t.Fatalf("n = %d, want %d", g.NumVertices, 1<<10)
+	}
+	if _, err := MeshN(1, 1); err == nil {
+		t.Fatal("tiny scale should fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g, err := Uniform(100, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 5000 {
+		t.Fatalf("m = %d", len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Uniform(0, 5, 1); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for name := range Presets {
+		g, err := FromPreset(name, -4, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices == 0 || len(g.Edges) == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	if _, err := FromPreset("no-such", 0, 1); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+}

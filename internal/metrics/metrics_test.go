@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMTEPS(t *testing.T) {
+	if got := MTEPS(3_000_000, time.Second); got != 3 {
+		t.Fatalf("MTEPS = %v", got)
+	}
+	if MTEPS(100, 0) != 0 {
+		t.Fatal("zero duration should give 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value", "time")
+	tab.AddRow("alpha", 1.23456, 1500*time.Millisecond)
+	tab.AddRow("a-much-longer-name", 42, "n/a")
+	out := tab.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not formatted to 4 sig digits:\n%s", out)
+	}
+	if !strings.Contains(out, "1.5s") {
+		t.Fatalf("duration not rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the position of column 2.
+	if tab.Rows() != 2 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params(bm float64) Params {
+	p := YahooWeb()
+	p.BM = bm
+	return p
+}
+
+func TestMPUBoundaryIdentities(t *testing.T) {
+	full := 2 * YahooWeb().N * YahooWeb().Ba
+	// At BM = 0, MPU degenerates to DPU.
+	if got, want := MPU(params(0)), DPU(params(0)); got != want {
+		t.Fatalf("MPU(0) = %+v, DPU = %+v", got, want)
+	}
+	// At BM = 2nBa, MPU degenerates to SPU with all edges streamed.
+	mpu := MPU(params(full))
+	if mpu.Write != 0 {
+		t.Fatalf("MPU at full budget writes %v", mpu.Write)
+	}
+	p := params(full)
+	if mpu.Read != p.M*p.Be {
+		t.Fatalf("MPU at full budget reads %v, want %v", mpu.Read, p.M*p.Be)
+	}
+}
+
+func TestSPUModel(t *testing.T) {
+	p := params(0) // unlimited
+	if io := SPU(p); io.Read != 0 || io.Write != 0 {
+		t.Fatalf("unlimited SPU: %+v", io)
+	}
+	full := 2 * p.N * p.Ba
+	p.BM = full + p.M*p.Be // everything cached
+	if io := SPU(p); io.Read != 0 {
+		t.Fatalf("fully-cached SPU reads %v", io.Read)
+	}
+	p.BM = full // nothing left for edges
+	if io := SPU(p); io.Read != p.M*p.Be {
+		t.Fatalf("edge-streaming SPU reads %v, want %v", io.Read, p.M*p.Be)
+	}
+}
+
+func TestDPUIndependentOfBudget(t *testing.T) {
+	a := DPU(params(1e9))
+	b := DPU(params(64e9))
+	if a != b {
+		t.Fatalf("DPU should not depend on BM: %+v vs %+v", a, b)
+	}
+}
+
+// TestQuickMPUAlwaysBeatsTurboGraph reproduces Figure 6's claim over the
+// whole budget range: MPU total I/O is strictly below TurboGraph-like.
+func TestQuickMPUAlwaysBeatsTurboGraph(t *testing.T) {
+	p := YahooWeb()
+	maxBM := 2 * p.N * p.Ba
+	f := func(frac float64) bool {
+		frac = math.Abs(frac)
+		frac -= math.Floor(frac) // (0,1)
+		if frac == 0 {
+			frac = 0.5
+		}
+		r := Fig6Ratio(p, frac*maxBM)
+		return r > 0 && r < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMPUMonotoneInBudget(t *testing.T) {
+	p := YahooWeb()
+	maxBM := 2 * p.N * p.Ba
+	f := func(a, b float64) bool {
+		fa := math.Mod(math.Abs(a), 1)
+		fb := math.Mod(math.Abs(b), 1)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		lo := MPU(params(fa * maxBM)).Total()
+		hi := MPU(params(fb * maxBM)).Total()
+		return lo >= hi // more memory, less traffic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig6Series(t *testing.T) {
+	budgets, ratios := Fig6Series(YahooWeb(), 10)
+	if len(budgets) != 10 || len(ratios) != 10 {
+		t.Fatalf("series lengths %d/%d", len(budgets), len(ratios))
+	}
+	for i, r := range ratios {
+		if r <= 0 || r >= 1 {
+			t.Fatalf("ratio[%d] = %v outside (0,1)", i, r)
+		}
+	}
+	if budgets[9] != 2*YahooWeb().N*YahooWeb().Ba {
+		t.Fatalf("last budget %v", budgets[9])
+	}
+}
+
+func TestImplVariants(t *testing.T) {
+	p := params(0)
+	if got, want := ImplDPU(p).Read-DPU(p).Read, p.N*p.Ba; got != want {
+		t.Fatalf("ImplDPU extra read %v, want %v", got, want)
+	}
+	full := 2 * p.N * p.Ba
+	if ImplMPU(params(full)) != MPU(params(full)) {
+		t.Fatal("ImplMPU at full budget should equal MPU")
+	}
+}
+
+func TestMPUFractionClamped(t *testing.T) {
+	if f := MPUFraction(params(1e30)); f != 0 {
+		t.Fatalf("huge budget fraction %v", f)
+	}
+	if f := MPUFraction(params(0)); f != 1 {
+		t.Fatalf("zero budget fraction %v", f)
+	}
+}

@@ -1,0 +1,103 @@
+package preprocess_test
+
+import (
+	"testing"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/preprocess"
+)
+
+// TestPaperFigure1Layout rebuilds the example graph of the paper's
+// Figure 1 and checks that the sub-shard contents match the figure
+// exactly: with P = 4 the intervals are I1 = {0,1}, I2 = {2,3},
+// I3 = {4,5}, I4 = {6}, and e.g. SS3.2 holds the edges 5→2, 4→3, 5→3
+// sorted by destination then source.
+func TestPaperFigure1Layout(t *testing.T) {
+	// Edges transcribed from Figure 1(b), as (src, dst).
+	edges := [][2]uint32{
+		{1, 2}, {0, 3}, {1, 3}, // SS1.2
+		{3, 2},                 // SS2.2
+		{5, 2}, {4, 3}, {5, 3}, // SS3.2
+		{3, 0}, {2, 1}, {3, 1}, // SS2.1
+		{4, 1},         // SS3.1
+		{6, 1},         // SS4.1
+		{1, 4}, {0, 5}, // SS1.3
+		{3, 4}, {3, 5}, // SS2.3
+		{5, 4}, {4, 5}, // SS3.3
+		{6, 4}, // SS4.3
+		{0, 6}, // SS1.4
+		{4, 6}, // SS3.4
+	}
+	g := &graph.EdgeList{NumVertices: 7}
+	for _, e := range edges {
+		g.Edges = append(g.Edges, graph.Edge{Src: e[0], Dst: e[1]})
+	}
+	disk := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
+	res, err := preprocess.FromEdgeList(disk, "fig1", g, preprocess.Options{Name: "fig1", P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Store.Close()
+	st := res.Store
+	m := st.Meta()
+	// Interval boundaries match the figure (1-indexed in the paper,
+	// 0-indexed here).
+	wantRanges := [][2]uint32{{0, 2}, {2, 4}, {4, 6}, {6, 7}}
+	for k, want := range wantRanges {
+		lo, hi := m.IntervalRange(k)
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("interval %d = [%d,%d), want [%d,%d)", k, lo, hi, want[0], want[1])
+		}
+	}
+
+	type edge struct{ s, d uint32 }
+	read := func(i, j int) []edge {
+		ss, err := st.ReadSubShard(i, j, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []edge
+		for k := range ss.Dsts {
+			for e := ss.Offsets[k]; e < ss.Offsets[k+1]; e++ {
+				out = append(out, edge{ss.Srcs[e], ss.Dsts[k]})
+			}
+		}
+		return out
+	}
+	// Paper SS3.2 (our SS[2][1]): destination-sorted 5→2, then 4→3, 5→3.
+	got := read(2, 1)
+	want := []edge{{5, 2}, {4, 3}, {5, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("SS3.2 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SS3.2 = %v, want %v", got, want)
+		}
+	}
+	// Paper SS2.1 (our SS[1][0]): 3→0, then 2→1, 3→1.
+	got = read(1, 0)
+	want = []edge{{3, 0}, {2, 1}, {3, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SS2.1 = %v, want %v", got, want)
+		}
+	}
+	// Paper SS2.4 and SS4.2 and SS4.4 are empty in the figure.
+	for _, ij := range [][2]int{{1, 3}, {3, 1}, {3, 3}} {
+		if e := read(ij[0], ij[1]); len(e) != 0 {
+			t.Fatalf("SS%d.%d should be empty, has %v", ij[0]+1, ij[1]+1, e)
+		}
+	}
+	// Shard S1 (column 0) collects rows 2, 3, 4 of the figure.
+	rows := st.SubShardsOfColumn(0, false)
+	if len(rows) != 3 || rows[0] != 1 || rows[1] != 2 || rows[2] != 3 {
+		t.Fatalf("shard S1 rows = %v", rows)
+	}
+	// d for SS3.2: 3 edges over 2 distinct destinations.
+	ss, _ := st.ReadSubShard(2, 1, false)
+	if d := ss.AvgInDegree(); d != 1.5 {
+		t.Fatalf("SS3.2 avg in-degree %v, want 1.5", d)
+	}
+}

@@ -1,0 +1,362 @@
+// Package preprocess implements NXgraph's explicit preprocessing stage
+// (paper §III-A): the degreer and the sharder.
+//
+// The degreer maps raw vertex *indices* (possibly sparse, as found in edge
+// list files) to dense *ids* in [0, n), dropping vertices with no incident
+// edge — exactly the paper's convention ("# vertices does not include
+// isolated vertices"). It also computes in/out degrees and emits the
+// id-space edge set (the paper's "pre-shard").
+//
+// The sharder partitions vertices into P equal-sized intervals and edges
+// into P² destination-sorted sub-shards, ordering edges by destination and
+// then source within each sub-shard, and writes the DSSS store. Sorting
+// runs through the external merge sorter so graphs larger than memory
+// shard correctly.
+package preprocess
+
+import (
+	"fmt"
+	"sort"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/extsort"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/storage"
+)
+
+// Options configures preprocessing.
+type Options struct {
+	// Name labels the store (informational).
+	Name string
+	// P is the number of vertex intervals (and per-axis sub-shards).
+	P int
+	// Weighted retains edge weights in the store.
+	Weighted bool
+	// Transpose additionally materializes the transposed sub-shard set,
+	// needed by algorithms that traverse reverse edges (WCC, SCC, HITS).
+	Transpose bool
+	// MaxRunEdges bounds the external sorter's in-memory run size.
+	// Zero selects a default of 1<<22 edges (~48 MB).
+	MaxRunEdges int
+	// SortBudgetDisk, when non-nil, receives the external sorter's
+	// scratch traffic instead of the store's disk.
+	SortBudgetDisk *diskio.Disk
+}
+
+func (o *Options) maxRun() int {
+	if o.MaxRunEdges <= 0 {
+		return 1 << 22
+	}
+	return o.MaxRunEdges
+}
+
+// Result reports what preprocessing produced.
+type Result struct {
+	Store       *storage.Store
+	NumVertices uint32
+	NumEdges    int64
+	// DroppedVertices counts raw indices that appeared in no edge (they
+	// exist only when the caller supplies an explicit universe, e.g. a
+	// vertex count larger than the edges touch).
+	DroppedVertices int64
+}
+
+// Degree maps and degree arrays from the degreer.
+type degreeing struct {
+	idOf     func(graph.Index) (uint32, bool)
+	idMap    []uint64 // id -> original index
+	outDeg   []uint32
+	inDeg    []uint32
+	numVerts uint32
+}
+
+// runDegreer builds the dense id space from raw index edges.
+func runDegreer(edges []graph.IndexEdge) *degreeing {
+	// Collect every endpoint, sort, unique: the rank of an index is its id.
+	idx := make([]uint64, 0, 2*len(edges))
+	for _, e := range edges {
+		idx = append(idx, e.Src, e.Dst)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	uniq := idx[:0]
+	var last uint64
+	for i, v := range idx {
+		if i == 0 || v != last {
+			uniq = append(uniq, v)
+			last = v
+		}
+	}
+	idMap := make([]uint64, len(uniq))
+	copy(idMap, uniq)
+	d := &degreeing{
+		idMap:    idMap,
+		numVerts: uint32(len(idMap)),
+		outDeg:   make([]uint32, len(idMap)),
+		inDeg:    make([]uint32, len(idMap)),
+	}
+	d.idOf = func(x graph.Index) (uint32, bool) {
+		k := sort.Search(len(idMap), func(i int) bool { return idMap[i] >= x })
+		if k < len(idMap) && idMap[k] == x {
+			return uint32(k), true
+		}
+		return 0, false
+	}
+	for _, e := range edges {
+		s, _ := d.idOf(e.Src)
+		t, _ := d.idOf(e.Dst)
+		d.outDeg[s]++
+		d.inDeg[t]++
+	}
+	return d
+}
+
+// FromIndexEdges preprocesses a raw edge list (sparse indices) into a DSSS
+// store at dir on disk.
+func FromIndexEdges(disk *diskio.Disk, dir string, edges []graph.IndexEdge, opt Options) (*Result, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("preprocess: empty edge set")
+	}
+	d := runDegreer(edges)
+	dense := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		s, _ := d.idOf(e.Src)
+		t, _ := d.idOf(e.Dst)
+		dense[i] = graph.Edge{Src: s, Dst: t, Weight: e.Weight}
+	}
+	return shard(disk, dir, dense, d, opt)
+}
+
+// FromEdgeList preprocesses an in-memory dense edge list. Isolated
+// vertices (ids with no incident edge) are dropped and the remaining ids
+// compacted, matching the degreer's behaviour on raw input.
+func FromEdgeList(disk *diskio.Disk, dir string, g *graph.EdgeList, opt Options) (*Result, error) {
+	if len(g.Edges) == 0 {
+		return nil, fmt.Errorf("preprocess: empty edge set")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Degree in original id space, then compact.
+	out := make([]uint32, g.NumVertices)
+	in := make([]uint32, g.NumVertices)
+	for _, e := range g.Edges {
+		out[e.Src]++
+		in[e.Dst]++
+	}
+	remap := make([]uint32, g.NumVertices)
+	idMap := make([]uint64, 0, g.NumVertices)
+	var next uint32
+	for v := uint32(0); v < g.NumVertices; v++ {
+		if out[v] == 0 && in[v] == 0 {
+			remap[v] = ^uint32(0)
+			continue
+		}
+		remap[v] = next
+		idMap = append(idMap, uint64(v))
+		next++
+	}
+	d := &degreeing{
+		idMap:    idMap,
+		numVerts: next,
+		outDeg:   make([]uint32, next),
+		inDeg:    make([]uint32, next),
+	}
+	dense := make([]graph.Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		s, t := remap[e.Src], remap[e.Dst]
+		dense[i] = graph.Edge{Src: s, Dst: t, Weight: e.Weight}
+		d.outDeg[s]++
+		d.inDeg[t]++
+	}
+	res, err := shard(disk, dir, dense, d, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.DroppedVertices = int64(g.NumVertices) - int64(next)
+	return res, nil
+}
+
+// shard sorts the dense edges into row-major sub-shard order and writes
+// the store.
+func shard(disk *diskio.Disk, dir string, dense []graph.Edge, d *degreeing, opt Options) (*Result, error) {
+	if opt.P <= 0 {
+		return nil, fmt.Errorf("preprocess: P must be positive, got %d", opt.P)
+	}
+	n := d.numVerts
+	P := opt.P
+	if uint32(P) > n {
+		return nil, fmt.Errorf("preprocess: P=%d exceeds vertex count %d", P, n)
+	}
+	size := (n + uint32(P) - 1) / uint32(P)
+	w, err := storage.NewWriter(disk, dir, opt.Name, n, int64(len(dense)), P, opt.Weighted)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			w.Abort()
+		}
+	}()
+	if err := w.WriteDegrees(d.outDeg, d.inDeg); err != nil {
+		return nil, err
+	}
+	if err := w.WriteIDMap(d.idMap); err != nil {
+		return nil, err
+	}
+	scratch := disk
+	if opt.SortBudgetDisk != nil {
+		scratch = opt.SortBudgetDisk
+	}
+	if err := writeShardSet(w, scratch, dense, size, P, opt, false); err != nil {
+		return nil, err
+	}
+	if opt.Transpose {
+		if err := w.BeginTranspose(); err != nil {
+			return nil, err
+		}
+		if err := writeShardSet(w, scratch, dense, size, P, opt, true); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return nil, err
+	}
+	st, err := storage.Open(disk, dir)
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return &Result{Store: st, NumVertices: n, NumEdges: int64(len(dense))}, nil
+}
+
+// writeShardSet externally sorts edges into (srcInterval, dstInterval,
+// dst, src) order — row-major sub-shard order with destination-sorted,
+// source-tied edges inside each sub-shard — and streams them into the
+// writer.
+func writeShardSet(w *storage.Writer, scratch *diskio.Disk, dense []graph.Edge, size uint32, P int, opt Options, transpose bool) error {
+	less := func(a, b graph.Edge) bool {
+		ai, bi := a.Src/size, b.Src/size
+		if ai != bi {
+			return ai < bi
+		}
+		aj, bj := a.Dst/size, b.Dst/size
+		if aj != bj {
+			return aj < bj
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Src < b.Src
+	}
+	sorter := extsort.NewSorter(scratch, less, opt.maxRun())
+	for _, e := range dense {
+		if transpose {
+			e = graph.Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight}
+		}
+		if err := sorter.Add(e); err != nil {
+			return err
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+
+	// Stream edges into sub-shard builders. Invariant: when the builder
+	// is dirty it owns slot cur (reserved, not yet appended); otherwise
+	// cur is the next row-major slot to fill.
+	b := newSubShardBuilder(opt.Weighted)
+	cur := 0
+	appendEmptyUpTo := func(slot int) error {
+		for cur < slot {
+			if err := w.AppendSubShard(&storage.SubShard{Offsets: []uint32{0}}); err != nil {
+				return err
+			}
+			cur++
+		}
+		return nil
+	}
+	for {
+		e, more := it.Next()
+		if !more {
+			break
+		}
+		slot := int(e.Src/size)*P + int(e.Dst/size)
+		if slot < cur {
+			return fmt.Errorf("preprocess: edges out of order (slot %d after %d)", slot, cur)
+		}
+		if b.dirty && slot != b.slot {
+			if err := w.AppendSubShard(b.take()); err != nil {
+				return err
+			}
+			cur++
+		}
+		if !b.dirty {
+			if err := appendEmptyUpTo(slot); err != nil {
+				return err
+			}
+		}
+		b.add(e, slot)
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if b.dirty {
+		if err := w.AppendSubShard(b.take()); err != nil {
+			return err
+		}
+		cur++
+	}
+	return appendEmptyUpTo(P * P)
+}
+
+// subShardBuilder accumulates one sub-shard's CSR arrays from edges
+// arriving in (dst, src) order.
+type subShardBuilder struct {
+	weighted bool
+	dirty    bool
+	slot     int
+	dsts     []uint32
+	offsets  []uint32
+	srcs     []uint32
+	weights  []float32
+}
+
+func newSubShardBuilder(weighted bool) *subShardBuilder {
+	return &subShardBuilder{weighted: weighted, offsets: []uint32{0}}
+}
+
+func (b *subShardBuilder) add(e graph.Edge, slot int) {
+	if !b.dirty {
+		b.dirty = true
+		b.slot = slot
+	}
+	if len(b.dsts) == 0 || b.dsts[len(b.dsts)-1] != e.Dst {
+		b.dsts = append(b.dsts, e.Dst)
+		b.offsets = append(b.offsets, uint32(len(b.srcs)))
+	}
+	b.srcs = append(b.srcs, e.Src)
+	b.offsets[len(b.offsets)-1] = uint32(len(b.srcs))
+	if b.weighted {
+		b.weights = append(b.weights, e.Weight)
+	}
+}
+
+func (b *subShardBuilder) take() *storage.SubShard {
+	ss := &storage.SubShard{
+		Dsts:    append([]uint32(nil), b.dsts...),
+		Offsets: append([]uint32(nil), b.offsets...),
+		Srcs:    append([]uint32(nil), b.srcs...),
+	}
+	if b.weighted {
+		ss.Weights = append([]float32(nil), b.weights...)
+	}
+	b.dsts = b.dsts[:0]
+	b.offsets = b.offsets[:1]
+	b.srcs = b.srcs[:0]
+	b.weights = b.weights[:0]
+	b.dirty = false
+	return ss
+}

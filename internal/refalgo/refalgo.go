@@ -1,0 +1,350 @@
+// Package refalgo contains straightforward in-memory reference
+// implementations of every algorithm NXgraph runs. They serve two roles:
+//
+//   - test oracles: the out-of-core engine, in every strategy and sync
+//     mode, must produce exactly (or, for PageRank, numerically) the same
+//     answers;
+//   - an "ideal in-memory system" baseline for the benchmark harness.
+//
+// All functions operate on graph.EdgeList / graph.Adjacency and make no
+// attempt at being fast beyond asymptotics.
+package refalgo
+
+import (
+	"container/heap"
+	"math"
+
+	"nxgraph/internal/graph"
+)
+
+// PageRank runs iters synchronous power iterations with damping d.
+// Dangling mass (vertices with zero out-degree) is redistributed
+// uniformly, matching the engine's PageRank program.
+func PageRank(g *graph.EdgeList, d float64, iters int) []float64 {
+	n := int(g.NumVertices)
+	if n == 0 {
+		return nil
+	}
+	deg := g.OutDegrees()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			next[v] = 0
+			if deg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		for _, e := range g.Edges {
+			next[e.Dst] += rank[e.Src] / float64(deg[e.Src])
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			next[v] = base + d*next[v]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// PersonalizedPageRank runs iters iterations of random-walk-with-restart
+// scoring from root with damping d; dangling mass returns to the root.
+func PersonalizedPageRank(g *graph.EdgeList, root uint32, d float64, iters int) []float64 {
+	n := int(g.NumVertices)
+	deg := g.OutDegrees()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	rank[root] = 1
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			next[v] = 0
+			if deg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		for _, e := range g.Edges {
+			next[e.Dst] += rank[e.Src] / float64(deg[e.Src])
+		}
+		for v := 0; v < n; v++ {
+			next[v] *= d
+		}
+		next[root] += (1 - d) + d*dangling
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// BFS returns the hop distance from root to every vertex; unreachable
+// vertices get -1.
+func BFS(a *graph.Adjacency, root graph.VertexID) []int64 {
+	n := int(a.NumVertices)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(root) >= n {
+		return dist
+	}
+	dist[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range a.Out(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// WCC returns, for each vertex, the smallest vertex id in its weakly
+// connected component (treating edges as undirected), computed with
+// union-find.
+func WCC(g *graph.EdgeList) []graph.VertexID {
+	n := int(g.NumVertices)
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		a, b := find(e.Src), find(e.Dst)
+		if a == b {
+			continue
+		}
+		if a < b { // keep the smaller id as root
+			parent[b] = a
+		} else {
+			parent[a] = b
+		}
+	}
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = find(uint32(i))
+	}
+	return out
+}
+
+// SCC returns, for each vertex, a canonical representative of its strongly
+// connected component: the smallest vertex id in the component. Uses an
+// iterative Tarjan algorithm.
+func SCC(a *graph.Adjacency) []graph.VertexID {
+	n := int(a.NumVertices)
+	const unvisited = -1
+	index := make([]int64, n)
+	low := make([]int64, n)
+	onStack := make([]bool, n)
+	comp := make([]graph.VertexID, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []uint32
+	var counter int64
+
+	type frame struct {
+		v  uint32
+		ei int64
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: uint32(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, uint32(start))
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < a.Offsets[v+1]-a.Offsets[v] {
+				u := a.Neighbors[a.Offsets[v]+f.ei]
+				f.ei++
+				if index[u] == unvisited {
+					index[u] = counter
+					low[u] = counter
+					counter++
+					stack = append(stack, u)
+					onStack[u] = true
+					frames = append(frames, frame{v: u})
+				} else if onStack[u] && index[u] < low[v] {
+					low[v] = index[u]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// v roots an SCC; pop it and pick the min id.
+				minID := uint32(math.MaxUint32)
+				end := len(stack)
+				i := end
+				for {
+					i--
+					if stack[i] < minID {
+						minID = stack[i]
+					}
+					if stack[i] == v {
+						break
+					}
+				}
+				for j := i; j < end; j++ {
+					onStack[stack[j]] = false
+					comp[stack[j]] = minID
+				}
+				stack = stack[:i]
+			}
+		}
+	}
+	return comp
+}
+
+// KCore returns each vertex's core number in the undirected view of g
+// (self-loops add 2 to degree, parallel edges count), via bucketless
+// iterative peeling.
+func KCore(g *graph.EdgeList) []uint32 {
+	n := int(g.NumVertices)
+	deg := make([]int64, n)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	adj := graph.BuildAdjacency(g.Symmetrize())
+	core := make([]uint32, n)
+	removed := make([]bool, n)
+	left := n
+	for k := int64(1); left > 0; k++ {
+		for {
+			peeled := false
+			for v := 0; v < n; v++ {
+				if removed[v] || deg[v] >= k {
+					continue
+				}
+				core[v] = uint32(k - 1)
+				removed[v] = true
+				left--
+				peeled = true
+				for _, u := range adj.Out(graph.VertexID(v)) {
+					if !removed[u] {
+						deg[u]--
+					}
+				}
+			}
+			if !peeled {
+				break
+			}
+		}
+	}
+	return core
+}
+
+// SSSP returns single-source shortest path distances with Dijkstra;
+// unreachable vertices get +Inf. Weights must be non-negative.
+func SSSP(a *graph.Adjacency, root graph.VertexID) []float64 {
+	n := int(a.NumVertices)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(root) >= n {
+		return dist
+	}
+	dist[root] = 0
+	pq := &distHeap{{v: root, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		nbrs := a.Out(item.v)
+		ws := a.OutWeights(item.v)
+		for i, u := range nbrs {
+			w := 1.0
+			if ws != nil {
+				w = float64(ws[i])
+			}
+			if nd := item.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// HITS runs iters iterations of Kleinberg's hub/authority computation with
+// L2 normalization, returning (authority, hub) scores.
+func HITS(g *graph.EdgeList, iters int) (auth, hub []float64) {
+	n := int(g.NumVertices)
+	auth = make([]float64, n)
+	hub = make([]float64, n)
+	for i := range hub {
+		hub[i] = 1
+		auth[i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		for i := range auth {
+			auth[i] = 0
+		}
+		for _, e := range g.Edges {
+			auth[e.Dst] += hub[e.Src]
+		}
+		normalize(auth)
+		for i := range hub {
+			hub[i] = 0
+		}
+		for _, e := range g.Edges {
+			hub[e.Src] += auth[e.Dst]
+		}
+		normalize(hub)
+	}
+	return auth, hub
+}
+
+func normalize(x []float64) {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for i := range x {
+		x[i] *= inv
+	}
+}

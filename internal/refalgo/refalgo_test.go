@@ -1,0 +1,166 @@
+package refalgo
+
+import (
+	"math"
+	"testing"
+
+	"nxgraph/internal/graph"
+)
+
+// diamond: 0 -> {1,2} -> 3, plus 3 -> 0 making one big cycle.
+func diamond() *graph.EdgeList {
+	return &graph.EdgeList{NumVertices: 4, Edges: []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 0},
+	}}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := PageRank(diamond(), 0.85, 20)
+	var sum float64
+	for _, x := range r {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestPageRankSymmetry(t *testing.T) {
+	r := PageRank(diamond(), 0.85, 50)
+	if math.Abs(r[1]-r[2]) > 1e-12 {
+		t.Fatalf("symmetric vertices 1,2 have ranks %v, %v", r[1], r[2])
+	}
+	if r[3] <= r[1] {
+		t.Fatalf("vertex 3 (two in-edges) should outrank vertex 1: %v vs %v", r[3], r[1])
+	}
+}
+
+func TestPageRankDangling(t *testing.T) {
+	// 0 -> 1, 1 dangling: mass must be conserved.
+	g := &graph.EdgeList{NumVertices: 2, Edges: []graph.Edge{{Src: 0, Dst: 1}}}
+	r := PageRank(g, 0.85, 100)
+	if math.Abs(r[0]+r[1]-1) > 1e-12 {
+		t.Fatalf("mass not conserved: %v", r[0]+r[1])
+	}
+	if r[1] <= r[0] {
+		t.Fatalf("sink should accumulate rank: %v vs %v", r[1], r[0])
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	if r := PageRank(&graph.EdgeList{}, 0.85, 5); r != nil {
+		t.Fatal("empty graph should return nil")
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	g := &graph.EdgeList{NumVertices: 5, Edges: []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	}}
+	d := BFS(graph.BuildAdjacency(g), 0)
+	want := []int64{0, 1, 2, 3, -1}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, d[v], want[v])
+		}
+	}
+}
+
+func TestBFSPrefersShortest(t *testing.T) {
+	g := diamond()
+	d := BFS(graph.BuildAdjacency(g), 0)
+	if d[3] != 2 {
+		t.Fatalf("depth[3] = %d, want 2", d[3])
+	}
+}
+
+func TestWCC(t *testing.T) {
+	g := &graph.EdgeList{NumVertices: 6, Edges: []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, // component {0,1,2}
+		{Src: 4, Dst: 5}, // component {4,5}
+	}}
+	labels := WCC(g)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("0,1,2 should share a label: %v", labels)
+	}
+	if labels[4] != labels[5] || labels[4] == labels[0] {
+		t.Fatalf("4,5 separate component: %v", labels)
+	}
+	if labels[3] == labels[0] || labels[3] == labels[4] {
+		t.Fatalf("isolated vertex 3 should keep its own label: %v", labels)
+	}
+	if labels[0] != 0 {
+		t.Fatalf("component label should be min id, got %d", labels[0])
+	}
+}
+
+func TestSCCKnown(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge, plus a singleton.
+	g := &graph.EdgeList{NumVertices: 5, Edges: []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}}
+	c := SCC(graph.BuildAdjacency(g))
+	if c[0] != c[1] {
+		t.Fatalf("0,1 same SCC: %v", c)
+	}
+	if c[2] != c[3] {
+		t.Fatalf("2,3 same SCC: %v", c)
+	}
+	if c[0] == c[2] {
+		t.Fatalf("one-way edge should not merge SCCs: %v", c)
+	}
+	if c[4] != 4 {
+		t.Fatalf("singleton SCC label: %v", c)
+	}
+	if c[0] != 0 || c[2] != 2 {
+		t.Fatalf("labels should be component minima: %v", c)
+	}
+}
+
+func TestSCCFullCycle(t *testing.T) {
+	n := uint32(1000)
+	g := &graph.EdgeList{NumVertices: n}
+	for v := uint32(0); v < n; v++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: v, Dst: (v + 1) % n})
+	}
+	c := SCC(graph.BuildAdjacency(g))
+	for v := range c {
+		if c[v] != 0 {
+			t.Fatalf("cycle should be one SCC, c[%d]=%d", v, c[v])
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	g := &graph.EdgeList{NumVertices: 4, Weighted: true, Edges: []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 3, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 5}, {Src: 2, Dst: 3, Weight: 0.5},
+	}}
+	d := SSSP(graph.BuildAdjacency(g), 0)
+	if d[3] != 2 { // via 0->1->3, not 0->2->3 (5.5)
+		t.Fatalf("d[3] = %v, want 2", d[3])
+	}
+	if !math.IsInf(SSSP(graph.BuildAdjacency(g), 3)[0], 1) {
+		t.Fatal("0 unreachable from 3")
+	}
+}
+
+func TestHITSNormalized(t *testing.T) {
+	auth, hub := HITS(diamond(), 10)
+	var sa, sh float64
+	for i := range auth {
+		sa += auth[i] * auth[i]
+		sh += hub[i] * hub[i]
+	}
+	if math.Abs(sa-1) > 1e-9 || math.Abs(sh-1) > 1e-9 {
+		t.Fatalf("norms %v, %v", sa, sh)
+	}
+	// Vertex 3 receives from both 1 and 2: top authority... vertex 0
+	// receives only from 3. Sanity: auth[3] >= auth[1].
+	if auth[3] < auth[1] {
+		t.Fatalf("auth ordering wrong: %v", auth)
+	}
+}

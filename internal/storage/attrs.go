@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nxgraph/internal/diskio"
+)
+
+// AttrStore persists per-vertex float64 attributes in attrs.bin, addressed
+// by dense id. It backs the on-disk intervals of DPU and MPU (paper
+// §III-B2): LoadFromDisk/SaveToDisk in Algorithm 6 map to ReadInterval and
+// WriteInterval here.
+type AttrStore struct {
+	f    *diskio.File
+	meta *Meta
+}
+
+// OpenAttrs opens the store's attribute file.
+func (s *Store) OpenAttrs() (*AttrStore, error) {
+	f, err := s.disk.Open(s.dir + "/" + AttrsFile)
+	if err != nil {
+		return nil, err
+	}
+	return &AttrStore{f: f, meta: &s.meta}, nil
+}
+
+// Close releases the attribute file.
+func (a *AttrStore) Close() error { return a.f.Close() }
+
+// ReadInterval loads interval k's attributes into dst, which must have
+// exactly IntervalLen(k) entries.
+func (a *AttrStore) ReadInterval(k int, dst []float64) error {
+	lo, hi := a.meta.IntervalRange(k)
+	if len(dst) != int(hi-lo) {
+		return fmt.Errorf("storage: interval %d has %d vertices, buffer has %d", k, hi-lo, len(dst))
+	}
+	if lo == hi {
+		return nil
+	}
+	buf := make([]byte, 8*(hi-lo))
+	if _, err := a.f.ReadAt(buf, int64(lo)*8); err != nil {
+		return fmt.Errorf("storage: read interval %d: %w", k, err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+// WriteInterval stores interval k's attributes from src, which must have
+// exactly IntervalLen(k) entries.
+func (a *AttrStore) WriteInterval(k int, src []float64) error {
+	lo, hi := a.meta.IntervalRange(k)
+	if len(src) != int(hi-lo) {
+		return fmt.Errorf("storage: interval %d has %d vertices, buffer has %d", k, hi-lo, len(src))
+	}
+	if lo == hi {
+		return nil
+	}
+	buf := make([]byte, 8*(hi-lo))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := a.f.WriteAt(buf, int64(lo)*8); err != nil {
+		return fmt.Errorf("storage: write interval %d: %w", k, err)
+	}
+	return nil
+}
+
+// WriteAll stores the full attribute array (n entries), used to initialize
+// a run.
+func (a *AttrStore) WriteAll(attrs []float64) error {
+	if len(attrs) != int(a.meta.NumVertices) {
+		return fmt.Errorf("storage: %d attrs, want %d", len(attrs), a.meta.NumVertices)
+	}
+	buf := make([]byte, 8*len(attrs))
+	for i, v := range attrs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	if _, err := a.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: write attrs: %w", err)
+	}
+	return nil
+}
+
+// ReadAll loads the full attribute array.
+func (a *AttrStore) ReadAll() ([]float64, error) {
+	n := int(a.meta.NumVertices)
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	buf := make([]byte, 8*n)
+	if _, err := a.f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("storage: read attrs: %w", err)
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+// Package storage implements the on-disk Destination-Sorted Sub-Shard
+// (DSSS) store of NXgraph (paper §II-A and §III-A).
+//
+// A graph with n vertices and m edges is stored as:
+//
+//   - P equal-sized vertex intervals (interval k owns the dense id range
+//     [k·⌈n/P⌉, (k+1)·⌈n/P⌉));
+//   - P² sub-shards: SS[i][j] holds every edge whose source lies in
+//     interval i and destination in interval j, sorted by destination id
+//     and, within one destination, by source id;
+//   - shard S[j] is the column of sub-shards {SS[i][j] : i}, i.e. all edges
+//     whose destination lies in interval j.
+//
+// Sub-shards use a compressed sparse layout: the distinct destination ids,
+// per-destination source counts, and the concatenated sorted source lists.
+// This is the paper's "efficient compressed sparse format"; the average
+// in-degree d of Table II is edges/distinctDsts of a sub-shard.
+//
+// The physical layout is a single shards.dat file holding all P² blobs
+// row-major (whole sub-shard rows are contiguous — the order SPU streaming
+// and DPU's ToHub phase consume them in), plus a JSON meta document, a
+// degree file, an id-map file, an attribute file used by the disk-based
+// update strategies, and an optional transposed replica for algorithms
+// that traverse reverse edges (WCC, SCC, HITS).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Format constants.
+const (
+	// MetaMagic identifies a DSSS store's meta document.
+	MetaMagic = "NXGRAPH-DSSS"
+	// FormatVersion is bumped on incompatible layout changes.
+	FormatVersion = 1
+	// ShardMagic heads shards.dat.
+	ShardMagic = uint32(0x4e584752) // "NXGR"
+)
+
+// File names inside a store directory.
+const (
+	MetaFile    = "meta.json"
+	DegreeFile  = "degrees.bin"
+	IDMapFile   = "idmap.bin"
+	ShardsFile  = "shards.dat"
+	TShardsFile = "shards_t.dat"
+	AttrsFile   = "attrs.bin"
+	HubsFile    = "hubs.dat"
+)
+
+// SubShardInfo locates one sub-shard blob inside shards.dat.
+type SubShardInfo struct {
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+	Edges  int64 `json:"edges"`
+	Dsts   int64 `json:"dsts"` // distinct destination vertices
+}
+
+// Meta is the JSON-serialized description of a store.
+type Meta struct {
+	Magic        string `json:"magic"`
+	Version      int    `json:"version"`
+	Name         string `json:"name"`
+	NumVertices  uint32 `json:"num_vertices"`
+	NumEdges     int64  `json:"num_edges"`
+	P            int    `json:"p"`
+	Weighted     bool   `json:"weighted"`
+	HasTranspose bool   `json:"has_transpose"`
+	// SubShards is indexed row-major: entry i*P+j is SS[i][j]. This
+	// matches the physical order in shards.dat, where row i (all
+	// sub-shards with source interval i) is contiguous — the order the
+	// row-phase of every update strategy streams edges in.
+	SubShards []SubShardInfo `json:"sub_shards"`
+	// TSubShards indexes shards_t.dat for the transposed graph, in the
+	// same row-major order (of the transposed matrix).
+	TSubShards []SubShardInfo `json:"t_sub_shards,omitempty"`
+}
+
+// IntervalSize returns ⌈n/P⌉, the number of vertex ids per interval.
+func (m *Meta) IntervalSize() uint32 {
+	if m.P <= 0 {
+		return 0
+	}
+	return (m.NumVertices + uint32(m.P) - 1) / uint32(m.P)
+}
+
+// IntervalOf returns the interval owning vertex v.
+func (m *Meta) IntervalOf(v uint32) int { return int(v / m.IntervalSize()) }
+
+// IntervalRange returns the [lo, hi) dense-id range of interval k.
+func (m *Meta) IntervalRange(k int) (lo, hi uint32) {
+	size := m.IntervalSize()
+	lo = uint32(k) * size
+	hi = lo + size
+	if hi > m.NumVertices || k == m.P-1 {
+		hi = m.NumVertices
+	}
+	if lo > m.NumVertices {
+		lo = m.NumVertices
+	}
+	return lo, hi
+}
+
+// IntervalLen returns the number of vertices in interval k.
+func (m *Meta) IntervalLen(k int) int {
+	lo, hi := m.IntervalRange(k)
+	return int(hi - lo)
+}
+
+// SubShardAt returns the info for SS[i][j].
+func (m *Meta) SubShardAt(i, j int) SubShardInfo { return m.SubShards[i*m.P+j] }
+
+// Validate checks internal consistency of the meta document.
+func (m *Meta) Validate() error {
+	if m.Magic != MetaMagic {
+		return fmt.Errorf("storage: bad magic %q (want %q)", m.Magic, MetaMagic)
+	}
+	if m.Version != FormatVersion {
+		return fmt.Errorf("storage: unsupported version %d (want %d)", m.Version, FormatVersion)
+	}
+	if m.P <= 0 {
+		return fmt.Errorf("storage: non-positive P %d", m.P)
+	}
+	if len(m.SubShards) != m.P*m.P {
+		return fmt.Errorf("storage: %d sub-shard entries, want %d", len(m.SubShards), m.P*m.P)
+	}
+	if m.HasTranspose && len(m.TSubShards) != m.P*m.P {
+		return fmt.Errorf("storage: %d transpose entries, want %d", len(m.TSubShards), m.P*m.P)
+	}
+	var edges int64
+	for _, ss := range m.SubShards {
+		edges += ss.Edges
+	}
+	if edges != m.NumEdges {
+		return fmt.Errorf("storage: sub-shards hold %d edges, meta says %d", edges, m.NumEdges)
+	}
+	return nil
+}
+
+// SubShard is one decoded destination-sorted sub-shard.
+//
+// For destination Dsts[k], the sources are Srcs[Offsets[k]:Offsets[k+1]]
+// (sorted ascending), with parallel Weights when the graph is weighted.
+type SubShard struct {
+	Dsts    []uint32
+	Offsets []uint32 // len(Dsts)+1
+	Srcs    []uint32
+	Weights []float32 // nil when unweighted
+}
+
+// NumEdges returns the edge count of the sub-shard.
+func (ss *SubShard) NumEdges() int { return len(ss.Srcs) }
+
+// NumDsts returns the number of distinct destination vertices.
+func (ss *SubShard) NumDsts() int { return len(ss.Dsts) }
+
+// AvgInDegree returns d, the average in-degree of the sub-shard's
+// destinations (paper Table II), or 0 for an empty sub-shard.
+func (ss *SubShard) AvgInDegree() float64 {
+	if len(ss.Dsts) == 0 {
+		return 0
+	}
+	return float64(len(ss.Srcs)) / float64(len(ss.Dsts))
+}
+
+// EncodedSize returns the byte length of the blob encoding.
+func encodedSize(dsts, edges int, weighted bool) int64 {
+	sz := int64(8) + int64(dsts)*8 + int64(edges)*4
+	if weighted {
+		sz += int64(edges) * 4
+	}
+	return sz
+}
+
+// EncodeSubShard serializes ss into a blob. Layout (little-endian):
+//
+//	uint32 dstCount | uint32 edgeCount
+//	[dstCount]uint32 dst ids
+//	[dstCount]uint32 per-dst source counts
+//	[edgeCount]uint32 source ids
+//	[edgeCount]float32 weights        (weighted stores only)
+func EncodeSubShard(ss *SubShard, weighted bool) []byte {
+	buf := make([]byte, encodedSize(len(ss.Dsts), len(ss.Srcs), weighted))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(ss.Dsts)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(ss.Srcs)))
+	p := 8
+	for _, d := range ss.Dsts {
+		binary.LittleEndian.PutUint32(buf[p:], d)
+		p += 4
+	}
+	for k := range ss.Dsts {
+		binary.LittleEndian.PutUint32(buf[p:], ss.Offsets[k+1]-ss.Offsets[k])
+		p += 4
+	}
+	for _, s := range ss.Srcs {
+		binary.LittleEndian.PutUint32(buf[p:], s)
+		p += 4
+	}
+	if weighted {
+		for i := range ss.Srcs {
+			w := float32(1)
+			if ss.Weights != nil {
+				w = ss.Weights[i]
+			}
+			binary.LittleEndian.PutUint32(buf[p:], float32bits(w))
+			p += 4
+		}
+	}
+	return buf
+}
+
+// DecodeSubShard parses a blob produced by EncodeSubShard.
+func DecodeSubShard(buf []byte, weighted bool) (*SubShard, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("storage: sub-shard blob too short (%d bytes)", len(buf))
+	}
+	dstCount := int(binary.LittleEndian.Uint32(buf[0:4]))
+	edgeCount := int(binary.LittleEndian.Uint32(buf[4:8]))
+	want := encodedSize(dstCount, edgeCount, weighted)
+	if int64(len(buf)) != want {
+		return nil, fmt.Errorf("storage: sub-shard blob is %d bytes, want %d (dsts=%d edges=%d)",
+			len(buf), want, dstCount, edgeCount)
+	}
+	ss := &SubShard{
+		Dsts:    make([]uint32, dstCount),
+		Offsets: make([]uint32, dstCount+1),
+		Srcs:    make([]uint32, edgeCount),
+	}
+	p := 8
+	for k := 0; k < dstCount; k++ {
+		ss.Dsts[k] = binary.LittleEndian.Uint32(buf[p:])
+		p += 4
+	}
+	var sum uint32
+	for k := 0; k < dstCount; k++ {
+		c := binary.LittleEndian.Uint32(buf[p:])
+		p += 4
+		sum += c
+		ss.Offsets[k+1] = sum
+	}
+	if int(sum) != edgeCount {
+		return nil, fmt.Errorf("storage: sub-shard counts sum to %d, want %d edges", sum, edgeCount)
+	}
+	for k := 0; k < edgeCount; k++ {
+		ss.Srcs[k] = binary.LittleEndian.Uint32(buf[p:])
+		p += 4
+	}
+	if weighted {
+		ss.Weights = make([]float32, edgeCount)
+		for k := 0; k < edgeCount; k++ {
+			ss.Weights[k] = float32frombits(binary.LittleEndian.Uint32(buf[p:]))
+			p += 4
+		}
+	}
+	return ss, nil
+}

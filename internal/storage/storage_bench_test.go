@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSubShard(b *testing.B, weighted bool) *SubShard {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	ss := &SubShard{Offsets: []uint32{0}}
+	for d := uint32(0); d < 4096; d++ {
+		ss.Dsts = append(ss.Dsts, d*3)
+		cnt := 1 + rng.Intn(16)
+		for s := 0; s < cnt; s++ {
+			ss.Srcs = append(ss.Srcs, rng.Uint32()%100000)
+			if weighted {
+				ss.Weights = append(ss.Weights, rng.Float32())
+			}
+		}
+		ss.Offsets = append(ss.Offsets, uint32(len(ss.Srcs)))
+	}
+	return ss
+}
+
+func BenchmarkEncodeSubShard(b *testing.B) {
+	ss := benchSubShard(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := EncodeSubShard(ss, false)
+		b.SetBytes(int64(len(blob)))
+	}
+}
+
+func BenchmarkDecodeSubShard(b *testing.B) {
+	ss := benchSubShard(b, false)
+	blob := EncodeSubShard(ss, false)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSubShard(blob, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSubShardWeighted(b *testing.B) {
+	ss := benchSubShard(b, true)
+	blob := EncodeSubShard(ss, true)
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSubShard(blob, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

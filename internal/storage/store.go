@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"nxgraph/internal/diskio"
+)
+
+func float32bits(f float32) uint32     { return math.Float32bits(f) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Store is an opened DSSS store.
+type Store struct {
+	disk *diskio.Disk
+	dir  string
+	meta Meta
+
+	shards  *diskio.File
+	tshards *diskio.File // nil unless HasTranspose
+}
+
+// Open opens the store rooted at dir on disk and validates its meta.
+func Open(disk *diskio.Disk, dir string) (*Store, error) {
+	raw, err := os.ReadFile(disk.Path(dir + "/" + MetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("storage: read meta: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("storage: parse meta: %w", err)
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{disk: disk, dir: dir, meta: meta}
+	if s.shards, err = disk.Open(dir + "/" + ShardsFile); err != nil {
+		return nil, err
+	}
+	if err := checkShardHeader(s.shards); err != nil {
+		s.shards.Close()
+		return nil, err
+	}
+	if meta.HasTranspose {
+		if s.tshards, err = disk.Open(dir + "/" + TShardsFile); err != nil {
+			s.shards.Close()
+			return nil, err
+		}
+		if err := checkShardHeader(s.tshards); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func checkShardHeader(f *diskio.File) error {
+	var hdr [8]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("storage: read shard header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != ShardMagic {
+		return fmt.Errorf("storage: shard file magic %#x, want %#x", got, ShardMagic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != FormatVersion {
+		return fmt.Errorf("storage: shard file version %d, want %d", v, FormatVersion)
+	}
+	return nil
+}
+
+// Close releases the store's file handles.
+func (s *Store) Close() error {
+	var first error
+	if s.shards != nil {
+		if err := s.shards.Close(); err != nil {
+			first = err
+		}
+		s.shards = nil
+	}
+	if s.tshards != nil {
+		if err := s.tshards.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.tshards = nil
+	}
+	return first
+}
+
+// Meta returns the store's meta document.
+func (s *Store) Meta() *Meta { return &s.meta }
+
+// Disk returns the disk the store lives on.
+func (s *Store) Disk() *diskio.Disk { return s.disk }
+
+// Dir returns the store's directory (disk-relative).
+func (s *Store) Dir() string { return s.dir }
+
+// ReadSubShard loads SS[i][j]. With transpose set it reads from the
+// transposed replica (whose [i][j] is the transpose matrix's own indexing).
+func (s *Store) ReadSubShard(i, j int, transpose bool) (*SubShard, error) {
+	P := s.meta.P
+	if i < 0 || i >= P || j < 0 || j >= P {
+		return nil, fmt.Errorf("storage: sub-shard (%d,%d) out of range P=%d", i, j, P)
+	}
+	infos, f := s.meta.SubShards, s.shards
+	if transpose {
+		if !s.meta.HasTranspose {
+			return nil, fmt.Errorf("storage: store has no transpose replica")
+		}
+		infos, f = s.meta.TSubShards, s.tshards
+	}
+	info := infos[i*P+j]
+	if info.Length == 0 {
+		return &SubShard{Offsets: []uint32{0}}, nil
+	}
+	buf := make([]byte, info.Length)
+	if _, err := f.ReadAt(buf, info.Offset); err != nil {
+		return nil, fmt.Errorf("storage: read SS[%d][%d]: %w", i, j, err)
+	}
+	ss, err := DecodeSubShard(buf, s.meta.Weighted)
+	if err != nil {
+		return nil, fmt.Errorf("storage: SS[%d][%d]: %w", i, j, err)
+	}
+	return ss, nil
+}
+
+// LoadAllSubShards reads every sub-shard into memory, indexed [i*P+j]
+// (row-major for natural SS[i][j] access). Used by SPU when the memory
+// budget admits the whole edge set.
+func (s *Store) LoadAllSubShards(transpose bool) ([]*SubShard, error) {
+	P := s.meta.P
+	all := make([]*SubShard, P*P)
+	// Read in physical (row-major) order for sequential I/O.
+	for i := 0; i < P; i++ {
+		for j := 0; j < P; j++ {
+			ss, err := s.ReadSubShard(i, j, transpose)
+			if err != nil {
+				return nil, err
+			}
+			all[i*P+j] = ss
+		}
+	}
+	return all, nil
+}
+
+// Degrees reads the degree file: out-degrees then in-degrees, each n
+// uint32s.
+func (s *Store) Degrees() (out, in []uint32, err error) {
+	f, err := s.disk.Open(s.dir + "/" + DegreeFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	n := int(s.meta.NumVertices)
+	buf := make([]byte, 8*n)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, nil, fmt.Errorf("storage: read degrees: %w", err)
+	}
+	out = make([]uint32, n)
+	in = make([]uint32, n)
+	for v := 0; v < n; v++ {
+		out[v] = binary.LittleEndian.Uint32(buf[4*v:])
+		in[v] = binary.LittleEndian.Uint32(buf[4*(n+v):])
+	}
+	return out, in, nil
+}
+
+// IDMap reads the id→original-index map (n uint64s).
+func (s *Store) IDMap() ([]uint64, error) {
+	f, err := s.disk.Open(s.dir + "/" + IDMapFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n := int(s.meta.NumVertices)
+	buf := make([]byte, 8*n)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("storage: read idmap: %w", err)
+	}
+	out := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		out[v] = binary.LittleEndian.Uint64(buf[8*v:])
+	}
+	return out, nil
+}
+
+// SubShardsOfColumn returns the row indices i of the non-empty sub-shards
+// in shard S[j], ascending.
+func (s *Store) SubShardsOfColumn(j int, transpose bool) []int {
+	P := s.meta.P
+	infos := s.meta.SubShards
+	if transpose {
+		infos = s.meta.TSubShards
+	}
+	var rows []int
+	for i := 0; i < P; i++ {
+		if infos[i*P+j].Edges > 0 {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// EdgeBytesOnDisk returns the total encoded size of all sub-shards, i.e.
+// m·Be for the Table II accounting.
+func (s *Store) EdgeBytesOnDisk(transpose bool) int64 {
+	infos := s.meta.SubShards
+	if transpose {
+		infos = s.meta.TSubShards
+	}
+	var total int64
+	for _, info := range infos {
+		total += info.Length
+	}
+	return total
+}
+
+// ForEachEdge streams every edge of the (forward) graph in physical
+// sub-shard order, calling fn(src, dst, weight). Unweighted stores report
+// weight 1. Iteration stops at the first error.
+func (s *Store) ForEachEdge(fn func(src, dst uint32, w float32) error) error {
+	P := s.meta.P
+	for i := 0; i < P; i++ {
+		for j := 0; j < P; j++ {
+			ss, err := s.ReadSubShard(i, j, false)
+			if err != nil {
+				return err
+			}
+			for k := range ss.Dsts {
+				for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+					w := float32(1)
+					if ss.Weights != nil {
+						w = ss.Weights[t]
+					}
+					if err := fn(ss.Srcs[t], ss.Dsts[k], w); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SortSubShard orders (in place) a sub-shard's CSR arrays canonically:
+// destinations ascending, sources ascending within each destination. The
+// sharder produces this order already; the helper exists for tests and for
+// building sub-shards directly from memory.
+func SortSubShard(ss *SubShard) {
+	type group struct {
+		dst  uint32
+		srcs []uint32
+		ws   []float32
+	}
+	groups := make([]group, len(ss.Dsts))
+	for k := range ss.Dsts {
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		g := group{dst: ss.Dsts[k], srcs: ss.Srcs[lo:hi]}
+		if ss.Weights != nil {
+			g.ws = ss.Weights[lo:hi]
+		}
+		groups[k] = g
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].dst < groups[b].dst })
+	newSrcs := make([]uint32, 0, len(ss.Srcs))
+	var newWs []float32
+	if ss.Weights != nil {
+		newWs = make([]float32, 0, len(ss.Weights))
+	}
+	for k, g := range groups {
+		ss.Dsts[k] = g.dst
+		if g.ws == nil {
+			sort.Slice(g.srcs, func(a, b int) bool { return g.srcs[a] < g.srcs[b] })
+			newSrcs = append(newSrcs, g.srcs...)
+		} else {
+			idx := make([]int, len(g.srcs))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return g.srcs[idx[a]] < g.srcs[idx[b]] })
+			for _, i := range idx {
+				newSrcs = append(newSrcs, g.srcs[i])
+				newWs = append(newWs, g.ws[i])
+			}
+		}
+		ss.Offsets[k+1] = uint32(len(newSrcs))
+	}
+	copy(ss.Srcs, newSrcs)
+	if ss.Weights != nil {
+		copy(ss.Weights, newWs)
+	}
+}

@@ -1,0 +1,332 @@
+// Package nxgraph is a single-machine out-of-core graph processing
+// library, a from-scratch Go implementation of
+//
+//	Chi et al., "NXgraph: An Efficient Graph Processing System on a
+//	Single Machine", ICDE 2016 (arXiv:1510.06916).
+//
+// Graphs are preprocessed into the Destination-Sorted Sub-Shard (DSSS)
+// representation: vertices partitioned into P intervals, edges into P²
+// destination-sorted sub-shards. Computations run as synchronous
+// gather–sum–apply programs under one of three update strategies —
+// Single-Phase (all intervals memory-resident), Double-Phase (fully
+// disk-based via hubs) or Mixed-Phase (Q resident intervals) — chosen
+// adaptively from the configured memory budget.
+//
+// # Quick start
+//
+//	g, _ := nxgraph.Generate(nxgraph.RMAT(16, 16, 1))
+//	gr, _ := nxgraph.Build("/tmp/mygraph", g, nxgraph.Options{Transpose: true})
+//	defer gr.Close()
+//	ranks, _ := gr.PageRank(0.85, 10)
+//
+// The cmd/ directory provides the same functionality as CLI tools
+// (nxgen, nxpre, nxrun, nxbench); examples/ contains runnable scenarios.
+package nxgraph
+
+import (
+	"fmt"
+	"os"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
+)
+
+// Re-exported basic types.
+type (
+	// Edge is a directed edge with an optional weight.
+	Edge = graph.Edge
+	// EdgeList is an in-memory graph in coordinate form.
+	EdgeList = graph.EdgeList
+	// Program is a custom gather–sum–apply computation; see
+	// internal/engine.Program for the full contract.
+	Program = engine.Program
+	// Result reports a program execution (attributes, iterations,
+	// traffic, timing).
+	Result = engine.Result
+	// DiskProfile models a disk (bandwidth + seek); see SSD, HDD,
+	// Unthrottled.
+	DiskProfile = diskio.Profile
+)
+
+// Disk profiles for Options.Profile.
+var (
+	// Unthrottled does byte accounting only (the default).
+	Unthrottled = diskio.Unthrottled
+	// SSD simulates a SATA SSD.
+	SSD = diskio.SSD
+	// HDD simulates a 7200 rpm disk.
+	HDD = diskio.HDD
+)
+
+// Strategy selects the update strategy.
+type Strategy = engine.Strategy
+
+// Update strategies.
+const (
+	// Auto adapts to the memory budget (the library default).
+	Auto = engine.Auto
+	// SPU forces Single-Phase Update.
+	SPU = engine.SPU
+	// DPU forces Double-Phase Update.
+	DPU = engine.DPU
+	// MPU forces Mixed-Phase Update.
+	MPU = engine.MPU
+)
+
+// Options configures Build and Open.
+type Options struct {
+	// P is the number of vertex intervals (default 12, the paper's
+	// sweet spot).
+	P int
+	// Threads sizes the worker pool (default GOMAXPROCS).
+	Threads int
+	// MemoryBudget is BM in bytes; 0 means unlimited (SPU with all
+	// sub-shards cached).
+	MemoryBudget int64
+	// Strategy overrides adaptive strategy selection.
+	Strategy Strategy
+	// LockSync switches worker synchronization from conflict-free
+	// callback scheduling to per-interval locking.
+	LockSync bool
+	// Weighted keeps edge weights (needed by SSSP).
+	Weighted bool
+	// Transpose materializes the reverse-edge replica (needed by WCC,
+	// SCC and HITS).
+	Transpose bool
+	// Profile simulates a disk; zero value means unthrottled.
+	Profile DiskProfile
+}
+
+func (o Options) p() int {
+	if o.P <= 0 {
+		return 12
+	}
+	return o.P
+}
+
+func (o Options) profile() DiskProfile {
+	if o.Profile.Name == "" {
+		return Unthrottled
+	}
+	return o.Profile
+}
+
+func (o Options) engineConfig() engine.Config {
+	sync := engine.Callback
+	if o.LockSync {
+		sync = engine.Lock
+	}
+	return engine.Config{
+		Threads:      o.Threads,
+		MemoryBudget: o.MemoryBudget,
+		Strategy:     o.Strategy,
+		Sync:         sync,
+	}
+}
+
+// Graph is an opened DSSS store bound to a compute engine.
+type Graph struct {
+	store  *storage.Store
+	engine *engine.Engine
+	opt    Options
+}
+
+// Build preprocesses g into a DSSS store rooted at dir and opens it. The
+// directory is created (and truncated) as needed. Isolated vertices are
+// dropped; RemapTable recovers original ids.
+func Build(dir string, g *EdgeList, opt Options) (*Graph, error) {
+	disk, err := diskio.New(dir, opt.profile())
+	if err != nil {
+		return nil, err
+	}
+	res, err := preprocess.FromEdgeList(disk, "dsss", g, preprocess.Options{
+		Name:      dir,
+		P:         opt.p(),
+		Weighted:  opt.Weighted,
+		Transpose: opt.Transpose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return attach(res.Store, opt)
+}
+
+// BuildFromFile parses a whitespace-separated edge-list text file
+// ("src dst [weight]" lines) and builds a store from it.
+func BuildFromFile(dir, path string, opt Options) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nxgraph: open edge file: %w", err)
+	}
+	defer f.Close()
+	edges, err := graph.ParseEdgeText(f)
+	if err != nil {
+		return nil, err
+	}
+	disk, err := diskio.New(dir, opt.profile())
+	if err != nil {
+		return nil, err
+	}
+	res, err := preprocess.FromIndexEdges(disk, "dsss", edges, preprocess.Options{
+		Name:      dir,
+		P:         opt.p(),
+		Weighted:  opt.Weighted,
+		Transpose: opt.Transpose,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return attach(res.Store, opt)
+}
+
+// Open opens a store previously written by Build.
+func Open(dir string, opt Options) (*Graph, error) {
+	disk, err := diskio.New(dir, opt.profile())
+	if err != nil {
+		return nil, err
+	}
+	st, err := storage.Open(disk, "dsss")
+	if err != nil {
+		return nil, err
+	}
+	return attach(st, opt)
+}
+
+func attach(st *storage.Store, opt Options) (*Graph, error) {
+	e, err := engine.New(st, opt.engineConfig())
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Graph{store: st, engine: e, opt: opt}, nil
+}
+
+// Close releases the store.
+func (g *Graph) Close() error { return g.store.Close() }
+
+// NumVertices returns the dense vertex count (isolated vertices
+// excluded, as in the paper).
+func (g *Graph) NumVertices() uint32 { return g.store.Meta().NumVertices }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int64 { return g.store.Meta().NumEdges }
+
+// P returns the interval count.
+func (g *Graph) P() int { return g.store.Meta().P }
+
+// RemapTable returns, for each dense id, the vertex's id in the edge
+// list passed to Build (or the raw index for BuildFromFile).
+func (g *Graph) RemapTable() ([]uint64, error) { return g.store.IDMap() }
+
+// Degrees returns out- and in-degree arrays indexed by dense id.
+func (g *Graph) Degrees() (out, in []uint32, err error) { return g.store.Degrees() }
+
+// IOStats returns cumulative disk traffic counters for the graph's disk.
+func (g *Graph) IOStats() diskio.StatsSnapshot {
+	return g.store.Disk().Stats().Snapshot()
+}
+
+// PageRank runs iters power iterations with the given damping and
+// returns per-vertex ranks summing to 1.
+func (g *Graph) PageRank(damping float64, iters int) (*Result, error) {
+	return algorithms.PageRank(g.engine, damping, iters)
+}
+
+// PageRankConverge iterates until the largest rank change is below eps.
+func (g *Graph) PageRankConverge(damping, eps float64, maxIters int) (*Result, error) {
+	return algorithms.PageRankConverge(g.engine, damping, eps, maxIters)
+}
+
+// PersonalizedPageRank scores random-walk-with-restart proximity to
+// root; scores sum to 1.
+func (g *Graph) PersonalizedPageRank(root uint32, damping float64, iters int) (*Result, error) {
+	return algorithms.PersonalizedPageRank(g.engine, root, damping, iters)
+}
+
+// BFS returns hop distances from root (+Inf where unreachable).
+func (g *Graph) BFS(root uint32) (*Result, error) {
+	return algorithms.BFS(g.engine, root)
+}
+
+// SSSP returns weighted shortest-path distances from root (+Inf where
+// unreachable). Build the store with Weighted for real weights.
+func (g *Graph) SSSP(root uint32) (*Result, error) {
+	return algorithms.SSSP(g.engine, root)
+}
+
+// WCC labels every vertex with the smallest id in its weakly connected
+// component. Requires Transpose.
+func (g *Graph) WCC() (*Result, error) { return algorithms.WCC(g.engine) }
+
+// SCC computes strongly connected components. Requires Transpose.
+func (g *Graph) SCC() (*algorithms.SCCResult, error) { return algorithms.SCC(g.engine) }
+
+// HITS runs hubs-and-authorities for iters iterations. Requires
+// Transpose.
+func (g *Graph) HITS(iters int) (auth, hub []float64, err error) {
+	return algorithms.HITS(g.engine, iters)
+}
+
+// KCore computes every vertex's core number in the undirected view of
+// the graph. Requires Transpose.
+func (g *Graph) KCore() (*algorithms.KCoreResult, error) {
+	return algorithms.KCore(g.engine)
+}
+
+// Verify checks every on-disk invariant of the graph's DSSS store.
+func (g *Graph) Verify() error { return storage.Verify(g.store) }
+
+// RunProgram executes a custom Program in the forward direction.
+func (g *Graph) RunProgram(p Program) (*Result, error) {
+	return g.engine.Run(p, engine.Forward)
+}
+
+// Engine exposes the underlying engine for advanced orchestration
+// (stepping, masks, custom directions).
+func (g *Graph) Engine() *engine.Engine { return g.engine }
+
+// GenSpec describes a synthetic graph for Generate.
+type GenSpec struct {
+	kind              string
+	scale, edgeFactor int
+	rows, cols        int
+	seed              int64
+	weighted          bool
+}
+
+// RMAT describes a power-law graph with 2^scale vertices and
+// edgeFactor·2^scale edges (Graph500 skew).
+func RMAT(scale, edgeFactor int, seed int64) GenSpec {
+	return GenSpec{kind: "rmat", scale: scale, edgeFactor: edgeFactor, seed: seed}
+}
+
+// WeightedRMAT is RMAT with uniform random weights in (0, 1].
+func WeightedRMAT(scale, edgeFactor int, seed int64) GenSpec {
+	s := RMAT(scale, edgeFactor, seed)
+	s.weighted = true
+	return s
+}
+
+// Mesh describes a triangulated rows×cols grid (planar, avg degree ≈ 6).
+func Mesh(rows, cols int, seed int64) GenSpec {
+	return GenSpec{kind: "mesh", rows: rows, cols: cols, seed: seed}
+}
+
+// Generate produces the described synthetic graph.
+func Generate(spec GenSpec) (*EdgeList, error) {
+	switch spec.kind {
+	case "rmat":
+		cfg := gen.DefaultRMAT(spec.scale, spec.edgeFactor, spec.seed)
+		cfg.Weighted = spec.weighted
+		return gen.RMAT(cfg)
+	case "mesh":
+		return gen.Mesh(spec.rows, spec.cols, spec.seed)
+	default:
+		return nil, fmt.Errorf("nxgraph: unknown generator %q", spec.kind)
+	}
+}
