@@ -13,33 +13,10 @@ import (
 	"math"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/metrics"
 )
-
-func parseBytes(s string) (int64, error) {
-	if s == "" || s == "0" {
-		return 0, nil
-	}
-	mult := int64(1)
-	u := strings.ToLower(s)
-	switch {
-	case strings.HasSuffix(u, "gib"), strings.HasSuffix(u, "gb"), strings.HasSuffix(u, "g"):
-		mult = 1 << 30
-	case strings.HasSuffix(u, "mib"), strings.HasSuffix(u, "mb"), strings.HasSuffix(u, "m"):
-		mult = 1 << 20
-	case strings.HasSuffix(u, "kib"), strings.HasSuffix(u, "kb"), strings.HasSuffix(u, "k"):
-		mult = 1 << 10
-	}
-	num := strings.TrimRight(u, "gibmkb")
-	v, err := strconv.ParseFloat(num, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad size %q", s)
-	}
-	return int64(v * float64(mult)), nil
-}
 
 func main() {
 	var (
@@ -60,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nxrun: -store is required")
 		os.Exit(2)
 	}
-	budget, err := parseBytes(*mem)
+	budget, err := metrics.ParseBytes(*mem)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nxrun:", err)
 		os.Exit(2)

@@ -1,0 +1,108 @@
+// nxserve serves graph algorithms over preprocessed DSSS stores through
+// an HTTP/JSON API: an async job scheduler with a bounded worker pool,
+// cooperative cancellation, an LRU result cache and Prometheus metrics.
+//
+// Usage:
+//
+//	nxserve -listen :8080 -graph social=/data/social -graph web=/data/web
+//	nxserve -listen :8080 -workers 4 -cache 512MiB
+//
+// Graphs can also be opened at runtime:
+//
+//	curl -X POST localhost:8080/v1/graphs -d '{"name":"g","dir":"/data/g"}'
+//	curl -X POST localhost:8080/v1/graphs/g/jobs -d '{"algo":"pagerank","params":{"iters":20}}'
+//	curl localhost:8080/v1/jobs/j-00000001
+//	curl 'localhost:8080/v1/jobs/j-00000001/result?top=10'
+//	curl -X POST localhost:8080/v1/jobs/j-00000001/cancel
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	nxgraph "nxgraph"
+	"nxgraph/internal/metrics"
+	"nxgraph/internal/server"
+)
+
+// graphFlags collects repeated -graph name=dir arguments.
+type graphFlags []struct{ name, dir string }
+
+func (g *graphFlags) String() string { return fmt.Sprintf("%d graphs", len(*g)) }
+
+func (g *graphFlags) Set(s string) error {
+	name, dir, ok := strings.Cut(s, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=dir, got %q", s)
+	}
+	*g = append(*g, struct{ name, dir string }{name, dir})
+	return nil
+}
+
+func main() {
+	var graphs graphFlags
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve on")
+		workers  = flag.Int("workers", 2, "concurrent engine executions")
+		queueCap = flag.Int("queue", 64, "pending-job queue capacity")
+		cache    = flag.String("cache", "256MiB", "result cache budget (0 disables caching)")
+		mem      = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
+		threads  = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
+	)
+	flag.Var(&graphs, "graph", "preload a store: name=dir (repeatable)")
+	flag.Parse()
+
+	cacheBytes, err := metrics.ParseBytes(*cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxserve:", err)
+		os.Exit(2)
+	}
+	if cacheBytes == 0 {
+		cacheBytes = -1 // flag 0 means "no caching", not "default"
+	}
+	budget, err := metrics.ParseBytes(*mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxserve:", err)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		CacheBytes:   cacheBytes,
+		GraphOptions: nxgraph.Options{Threads: *threads, MemoryBudget: budget},
+	})
+	defer srv.Close()
+	for _, g := range graphs {
+		if err := srv.OpenGraph(g.name, g.dir, nxgraph.Options{Threads: *threads, MemoryBudget: budget}); err != nil {
+			fmt.Fprintln(os.Stderr, "nxserve:", err)
+			os.Exit(1)
+		}
+		log.Printf("opened graph %q from %s", g.name, g.dir)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	go func() {
+		log.Printf("nxserve listening on %s (%d workers, %s cache)", *listen, *workers, *cache)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("nxserve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,3 @@
+module nxgraph
+
+go 1.24

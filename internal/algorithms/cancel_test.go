@@ -1,0 +1,100 @@
+package algorithms_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/testutil"
+)
+
+// TestPageRankContextCancelMidRun is the serving subsystem's core engine
+// requirement: a multi-iteration PageRank on an RMAT graph cancelled
+// mid-run returns context.Canceled promptly and leaves the store fully
+// reusable for subsequent runs.
+func TestPageRankContextCancelMidRun(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(11, 8, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := testutil.BuildStore(t, g, testutil.StoreOptions{P: 6, Transpose: true})
+	e, err := engine.New(st, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancelledAt := 0
+	_, err = algorithms.PageRankContext(ctx, e, 0.85, 500, func(p engine.Progress) {
+		if p.Iteration == 3 {
+			cancelledAt = p.Iteration
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cancelledAt != 3 {
+		t.Fatalf("cancel fired at iteration %d, want 3", cancelledAt)
+	}
+
+	// Store must be reusable: a fresh full run produces a valid
+	// distribution (ranks sum to 1).
+	res, err := algorithms.PageRank(e, 0.85, 10)
+	if err != nil {
+		t.Fatalf("store unusable after cancelled run: %v", err)
+	}
+	sum := 0.0
+	for _, r := range res.Attrs {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("post-cancel PageRank sums to %g, want 1", sum)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("post-cancel PageRank ran %d iterations, want 10", res.Iterations)
+	}
+}
+
+// TestContextVariantsCancelled verifies every multi-phase Context variant
+// honours an already-cancelled context and surfaces ctx.Err().
+func TestContextVariantsCancelled(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := testutil.BuildStore(t, g, testutil.StoreOptions{P: 4, Transpose: true})
+	e, err := engine.New(st, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cases := map[string]func() error{
+		"pagerank": func() error { _, err := algorithms.PageRankContext(ctx, e, 0.85, 10, nil); return err },
+		"converge": func() error { _, err := algorithms.PageRankConvergeContext(ctx, e, 0.85, 1e-9, 0, nil); return err },
+		"ppr":      func() error { _, err := algorithms.PersonalizedPageRankContext(ctx, e, 0, 0.85, 10, nil); return err },
+		"bfs":      func() error { _, err := algorithms.BFSContext(ctx, e, 0, nil); return err },
+		"sssp":     func() error { _, err := algorithms.SSSPContext(ctx, e, 0, nil); return err },
+		"wcc":      func() error { _, err := algorithms.WCCContext(ctx, e, nil); return err },
+		"scc":      func() error { _, err := algorithms.SCCContext(ctx, e, nil); return err },
+		"kcore":    func() error { _, err := algorithms.KCoreContext(ctx, e, nil); return err },
+		"hits":     func() error { _, _, err := algorithms.HITSContext(ctx, e, 3, nil); return err },
+	}
+	for name, fn := range cases {
+		if err := fn(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", name, err)
+		}
+	}
+
+	// And the engine still works after the whole battery.
+	if _, err := algorithms.BFS(e, 0); err != nil {
+		t.Fatalf("engine unusable after cancelled battery: %v", err)
+	}
+}

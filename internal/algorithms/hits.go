@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,6 +33,13 @@ func (sumProg) DenseApply() {}
 //	auth = normalize(Aᵀ·hub)   (gather hub scores along forward edges)
 //	hub  = normalize(A·auth)   (gather auth scores along reverse edges)
 func HITS(e *engine.Engine, iters int) (auth, hub []float64, err error) {
+	return HITSContext(context.Background(), e, iters, nil)
+}
+
+// HITSContext is HITS with cancellation and progress reporting. Progress
+// is reported once per half-step: Iteration counts half-steps (2·iters
+// total) and Edges accumulates traversals across both alternating runs.
+func HITSContext(ctx context.Context, e *engine.Engine, iters int, progress engine.ProgressFunc) (auth, hub []float64, err error) {
 	if iters <= 0 {
 		return nil, nil, fmt.Errorf("algorithms: hits needs iters > 0")
 	}
@@ -54,13 +62,33 @@ func HITS(e *engine.Engine, iters int) (auth, hub []float64, err error) {
 	for i := range hub {
 		hub[i] = 1
 	}
+	halfSteps := 0
+	if progress != nil {
+		// Each run's edge counter is cumulative over that run's own
+		// steps; fold the two alternating runs into one monotone
+		// stream by accumulating per-run deltas.
+		var cumEdges int64
+		last := map[*engine.Run]int64{}
+		for _, rn := range []*engine.Run{authRun, hubRun} {
+			rn.SetProgress(func(p engine.Progress) {
+				cumEdges += p.Edges - last[rn]
+				last[rn] = p.Edges
+				progress(engine.Progress{
+					Iteration:       halfSteps + 1,
+					Edges:           cumEdges,
+					ActiveIntervals: p.ActiveIntervals,
+					Elapsed:         p.Elapsed,
+				})
+			})
+		}
+	}
 	halfStep := func(run *engine.Run, in []float64) ([]float64, error) {
 		if err := run.SetAttrs(in); err != nil {
 			return nil, err
 		}
 		run.ActivateAll()
 		run.ResetIterations()
-		if _, err := run.Step(); err != nil {
+		if _, err := run.StepContext(ctx); err != nil {
 			return nil, err
 		}
 		out, err := run.Attrs()
@@ -68,6 +96,7 @@ func HITS(e *engine.Engine, iters int) (auth, hub []float64, err error) {
 			return nil, err
 		}
 		normalizeL2(out)
+		halfSteps++
 		return out, nil
 	}
 	for it := 0; it < iters; it++ {

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,6 +19,13 @@ import (
 //
 // Requires a store preprocessed with Transpose.
 func KCore(e *engine.Engine) (*KCoreResult, error) {
+	return KCoreContext(context.Background(), e, nil)
+}
+
+// KCoreContext is KCore with cancellation and progress reporting.
+// Cancellation is checked inside every degree-recount pass; progress
+// reports cumulative engine iterations across passes.
+func KCoreContext(ctx context.Context, e *engine.Engine, progress engine.ProgressFunc) (*KCoreResult, error) {
 	meta := e.Store().Meta()
 	if !meta.HasTranspose {
 		return nil, fmt.Errorf("algorithms: kcore requires a store preprocessed with Transpose")
@@ -32,7 +40,7 @@ func KCore(e *engine.Engine) (*KCoreResult, error) {
 		// Peel everything of degree < k until stable, then raise k.
 		peeledAny := true
 		for peeledAny && remaining > 0 {
-			counts, err := liveDegrees(e, mask, res)
+			counts, err := liveDegrees(ctx, e, mask, res, progress)
 			if err != nil {
 				return nil, err
 			}
@@ -80,14 +88,15 @@ type KCoreResult struct {
 
 // liveDegrees counts, for every vertex, its unmasked undirected degree
 // (in + out) with a single Both-direction engine iteration.
-func liveDegrees(e *engine.Engine, mask *bitset.Set, res *KCoreResult) ([]float64, error) {
+func liveDegrees(ctx context.Context, e *engine.Engine, mask *bitset.Set, res *KCoreResult, progress engine.ProgressFunc) ([]float64, error) {
 	run, err := e.NewRun(degreeCountProg{}, engine.Both)
 	if err != nil {
 		return nil, err
 	}
 	defer run.Close()
 	run.SetMask(mask)
-	if _, err := run.Step(); err != nil {
+	run.SetProgress(offsetProgress(progress, res.Iterations, res.EdgesTraversed))
+	if _, err := run.StepContext(ctx); err != nil {
 		return nil, err
 	}
 	r, err := run.Finish()

@@ -5,6 +5,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -74,6 +75,13 @@ func (p *pageRankProg) SetGlobal(g float64)             { p.dangling = g }
 // PageRank runs exactly iters power iterations and returns per-vertex
 // ranks (summing to 1).
 func PageRank(e *engine.Engine, damping float64, iters int) (*engine.Result, error) {
+	return PageRankContext(context.Background(), e, damping, iters, nil)
+}
+
+// PageRankContext is PageRank with cancellation and per-iteration progress
+// reporting (progress may be nil). On cancellation it returns ctx.Err();
+// the engine stays reusable.
+func PageRankContext(ctx context.Context, e *engine.Engine, damping float64, iters int, progress engine.ProgressFunc) (*engine.Result, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("algorithms: pagerank needs iters > 0")
 	}
@@ -83,8 +91,9 @@ func PageRank(e *engine.Engine, damping float64, iters int) (*engine.Result, err
 		return nil, err
 	}
 	defer run.Close()
+	run.SetProgress(progress)
 	for it := 0; it < iters; it++ {
-		more, err := run.Step()
+		more, err := run.StepContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -98,14 +107,21 @@ func PageRank(e *engine.Engine, damping float64, iters int) (*engine.Result, err
 // PageRankConverge iterates until the largest per-vertex change drops
 // below eps (or maxIters is hit).
 func PageRankConverge(e *engine.Engine, damping, eps float64, maxIters int) (*engine.Result, error) {
+	return PageRankConvergeContext(context.Background(), e, damping, eps, maxIters, nil)
+}
+
+// PageRankConvergeContext is PageRankConverge with cancellation and
+// progress reporting.
+func PageRankConvergeContext(ctx context.Context, e *engine.Engine, damping, eps float64, maxIters int, progress engine.ProgressFunc) (*engine.Result, error) {
 	prog := &pageRankProg{n: float64(e.Store().Meta().NumVertices), damping: damping}
 	run, err := e.NewRun(prog, engine.Forward)
 	if err != nil {
 		return nil, err
 	}
 	defer run.Close()
+	run.SetProgress(progress)
 	for it := 0; maxIters <= 0 || it < maxIters; it++ {
-		more, err := run.Step()
+		more, err := run.StepContext(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 
 	"nxgraph/internal/engine"
@@ -53,6 +54,12 @@ func (p *pprProg) SetGlobal(g float64)             { p.dangling = g }
 // personalized PageRank from root. Scores sum to 1 and measure random-
 // walk-with-restart proximity to root.
 func PersonalizedPageRank(e *engine.Engine, root uint32, damping float64, iters int) (*engine.Result, error) {
+	return PersonalizedPageRankContext(context.Background(), e, root, damping, iters, nil)
+}
+
+// PersonalizedPageRankContext is PersonalizedPageRank with cancellation
+// and progress reporting.
+func PersonalizedPageRankContext(ctx context.Context, e *engine.Engine, root uint32, damping float64, iters int, progress engine.ProgressFunc) (*engine.Result, error) {
 	n := e.Store().Meta().NumVertices
 	if root >= n {
 		return nil, fmt.Errorf("algorithms: ppr root %d out of range n=%d", root, n)
@@ -66,8 +73,9 @@ func PersonalizedPageRank(e *engine.Engine, root uint32, damping float64, iters 
 		return nil, err
 	}
 	defer run.Close()
+	run.SetProgress(progress)
 	for it := 0; it < iters; it++ {
-		more, err := run.Step()
+		more, err := run.StepContext(ctx)
 		if err != nil {
 			return nil, err
 		}

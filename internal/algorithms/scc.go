@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -8,6 +9,36 @@ import (
 	"nxgraph/internal/bitset"
 	"nxgraph/internal/engine"
 )
+
+// stepAll drives run to termination, honouring ctx and reporting
+// per-iteration progress (progress may be nil). Used by the SCC
+// fixpoints, which run until inactivity rather than a fixed count.
+func stepAll(ctx context.Context, run *engine.Run, progress engine.ProgressFunc) error {
+	run.SetProgress(progress)
+	for {
+		more, err := run.StepContext(ctx)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// offsetProgress shifts per-run progress by cumulative counters so that
+// multi-phase algorithms (SCC, KCore) report monotone iteration and edge
+// counts across their many engine runs.
+func offsetProgress(progress engine.ProgressFunc, baseIter int, baseEdges int64) engine.ProgressFunc {
+	if progress == nil {
+		return nil
+	}
+	return func(p engine.Progress) {
+		p.Iteration += baseIter
+		p.Edges += baseEdges
+		progress(p)
+	}
+}
 
 // SCC computes strongly connected components with the trim + forward-
 // coloring + backward-confirmation scheme used by vertex-centric
@@ -29,6 +60,13 @@ import (
 // The store must be preprocessed with Transpose. Labels identify
 // components by their root's id (an arbitrary canonical member).
 func SCC(e *engine.Engine) (*SCCResult, error) {
+	return SCCContext(context.Background(), e, nil)
+}
+
+// SCCContext is SCC with cancellation and progress reporting. Cancellation
+// is checked inside every engine fixpoint and between phases; progress
+// reports cumulative engine iterations across all phases.
+func SCCContext(ctx context.Context, e *engine.Engine, progress engine.ProgressFunc) (*SCCResult, error) {
 	meta := e.Store().Meta()
 	if !meta.HasTranspose {
 		return nil, fmt.Errorf("algorithms: scc requires a store preprocessed with Transpose")
@@ -44,7 +82,7 @@ func SCC(e *engine.Engine) (*SCCResult, error) {
 		res.Rounds++
 		// Phase 1: trim.
 		for t := 0; t < trimRoundsPerPhase && remaining > 0; t++ {
-			trimmed, err := trimOnce(e, mask, res)
+			trimmed, err := trimOnce(ctx, e, mask, res, progress)
 			if err != nil {
 				return nil, err
 			}
@@ -57,12 +95,12 @@ func SCC(e *engine.Engine) (*SCCResult, error) {
 			break
 		}
 		// Phase 2: forward max-coloring to fixpoint.
-		colors, err := colorFixpoint(e, mask, res)
+		colors, err := colorFixpoint(ctx, e, mask, res, progress)
 		if err != nil {
 			return nil, err
 		}
 		// Phase 3: backward confirmation to fixpoint.
-		confirmed, err := confirmFixpoint(e, mask, colors, res)
+		confirmed, err := confirmFixpoint(ctx, e, mask, colors, res, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -125,12 +163,12 @@ func (degreeCountProg) DenseApply() {}
 
 // trimOnce assigns singleton SCCs to unmasked vertices with zero live
 // in-degree or zero live out-degree, returning how many were trimmed.
-func trimOnce(e *engine.Engine, mask *bitset.Set, res *SCCResult) (int, error) {
-	inCnt, err := oneShotCount(e, mask, engine.Forward, res)
+func trimOnce(ctx context.Context, e *engine.Engine, mask *bitset.Set, res *SCCResult, progress engine.ProgressFunc) (int, error) {
+	inCnt, err := oneShotCount(ctx, e, mask, engine.Forward, res, progress)
 	if err != nil {
 		return 0, err
 	}
-	outCnt, err := oneShotCount(e, mask, engine.Reverse, res)
+	outCnt, err := oneShotCount(ctx, e, mask, engine.Reverse, res, progress)
 	if err != nil {
 		return 0, err
 	}
@@ -148,14 +186,15 @@ func trimOnce(e *engine.Engine, mask *bitset.Set, res *SCCResult) (int, error) {
 	return trimmed, nil
 }
 
-func oneShotCount(e *engine.Engine, mask *bitset.Set, dir engine.Direction, res *SCCResult) ([]float64, error) {
+func oneShotCount(ctx context.Context, e *engine.Engine, mask *bitset.Set, dir engine.Direction, res *SCCResult, progress engine.ProgressFunc) ([]float64, error) {
 	run, err := e.NewRun(degreeCountProg{}, dir)
 	if err != nil {
 		return nil, err
 	}
 	defer run.Close()
 	run.SetMask(mask)
-	if _, err := run.Step(); err != nil {
+	run.SetProgress(offsetProgress(progress, res.Iterations, res.EdgesTraversed))
+	if _, err := run.StepContext(ctx); err != nil {
 		return nil, err
 	}
 	r, err := run.Finish()
@@ -184,21 +223,15 @@ func (colorProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	return old, false
 }
 
-func colorFixpoint(e *engine.Engine, mask *bitset.Set, res *SCCResult) ([]float64, error) {
+func colorFixpoint(ctx context.Context, e *engine.Engine, mask *bitset.Set, res *SCCResult, progress engine.ProgressFunc) ([]float64, error) {
 	run, err := e.NewRun(colorProg{}, engine.Forward)
 	if err != nil {
 		return nil, err
 	}
 	defer run.Close()
 	run.SetMask(mask)
-	for {
-		more, err := run.Step()
-		if err != nil {
-			return nil, err
-		}
-		if !more {
-			break
-		}
+	if err := stepAll(ctx, run, offsetProgress(progress, res.Iterations, res.EdgesTraversed)); err != nil {
+		return nil, err
 	}
 	r, err := run.Finish()
 	if err != nil {
@@ -240,7 +273,7 @@ func (confirmProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	return old, false
 }
 
-func confirmFixpoint(e *engine.Engine, mask *bitset.Set, colors []float64, res *SCCResult) ([]bool, error) {
+func confirmFixpoint(ctx context.Context, e *engine.Engine, mask *bitset.Set, colors []float64, res *SCCResult, progress engine.ProgressFunc) ([]bool, error) {
 	run, err := e.NewRun(confirmProg{}, engine.Reverse)
 	if err != nil {
 		return nil, err
@@ -259,14 +292,8 @@ func confirmFixpoint(e *engine.Engine, mask *bitset.Set, colors []float64, res *
 		return nil, err
 	}
 	run.ActivateAll()
-	for {
-		more, err := run.Step()
-		if err != nil {
-			return nil, err
-		}
-		if !more {
-			break
-		}
+	if err := stepAll(ctx, run, offsetProgress(progress, res.Iterations, res.EdgesTraversed)); err != nil {
+		return nil, err
 	}
 	r, err := run.Finish()
 	if err != nil {

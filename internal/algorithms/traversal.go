@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,11 +41,16 @@ func (p *bfsProg) Apply(v uint32, old, acc float64) (float64, bool) {
 // The run terminates when no interval stays active (Algorithm 1's
 // finished condition).
 func BFS(e *engine.Engine, root uint32) (*engine.Result, error) {
+	return BFSContext(context.Background(), e, root, nil)
+}
+
+// BFSContext is BFS with cancellation and progress reporting.
+func BFSContext(ctx context.Context, e *engine.Engine, root uint32, progress engine.ProgressFunc) (*engine.Result, error) {
 	if root >= e.Store().Meta().NumVertices {
 		return nil, fmt.Errorf("algorithms: bfs root %d out of range n=%d",
 			root, e.Store().Meta().NumVertices)
 	}
-	return e.Run(&bfsProg{root: root}, engine.Forward)
+	return e.RunContext(ctx, &bfsProg{root: root}, engine.Forward, progress)
 }
 
 // MaxDepth is BFS's Output function from the paper (Algorithm 4): the
@@ -92,11 +98,16 @@ func (p *ssspProg) Apply(v uint32, old, acc float64) (float64, bool) {
 // unreachable vertices hold +Inf. The store should be built with
 // Weighted; unweighted stores degenerate to BFS (all weights 1).
 func SSSP(e *engine.Engine, root uint32) (*engine.Result, error) {
+	return SSSPContext(context.Background(), e, root, nil)
+}
+
+// SSSPContext is SSSP with cancellation and progress reporting.
+func SSSPContext(ctx context.Context, e *engine.Engine, root uint32, progress engine.ProgressFunc) (*engine.Result, error) {
 	if root >= e.Store().Meta().NumVertices {
 		return nil, fmt.Errorf("algorithms: sssp root %d out of range n=%d",
 			root, e.Store().Meta().NumVertices)
 	}
-	return e.Run(&ssspProg{root: root}, engine.Forward)
+	return e.RunContext(ctx, &ssspProg{root: root}, engine.Forward, progress)
 }
 
 // wccProg propagates minimum labels across both edge orientations,
@@ -123,7 +134,12 @@ func (wccProg) Apply(v uint32, old, acc float64) (float64, bool) {
 // connected component. It requires a store preprocessed with Transpose
 // (label propagation runs over both edge orientations).
 func WCC(e *engine.Engine) (*engine.Result, error) {
-	return e.Run(wccProg{}, engine.Both)
+	return WCCContext(context.Background(), e, nil)
+}
+
+// WCCContext is WCC with cancellation and progress reporting.
+func WCCContext(ctx context.Context, e *engine.Engine, progress engine.ProgressFunc) (*engine.Result, error) {
+	return e.RunContext(ctx, wccProg{}, engine.Both, progress)
 }
 
 // Labels converts float64 label attributes to vertex ids.

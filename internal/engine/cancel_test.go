@@ -1,0 +1,121 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+)
+
+// TestRunContextCancelBeforeStart verifies an already-cancelled context
+// aborts before the first iteration.
+func TestRunContextCancelBeforeStart(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := buildEngine(t, g, 4, engine.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog := algorithms.NewPageRankProgram(e.Store().Meta().NumVertices, 0.85)
+	_, err = e.RunContext(ctx, prog, engine.Forward, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRunContextCancelMidRun cancels from a progress callback after two
+// iterations and verifies prompt termination, then reuses the engine.
+func TestRunContextCancelMidRun(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := buildEngine(t, g, 4, engine.Config{MaxIterations: 1000})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen []int
+	prog := algorithms.NewPageRankProgram(e.Store().Meta().NumVertices, 0.85)
+	_, err = e.RunContext(ctx, prog, engine.Forward, func(p engine.Progress) {
+		seen = append(seen, p.Iteration)
+		if p.Iteration == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("progress called %d times, want 2 (cancel at iteration 2 must stop the run promptly)", len(seen))
+	}
+
+	// The engine and store must stay fully usable after cancellation.
+	res, err := e.Run(prog, engine.Forward)
+	if err != nil {
+		t.Fatalf("engine unusable after cancelled run: %v", err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("follow-up run did no work")
+	}
+}
+
+// TestStepContextProgress verifies the per-iteration progress stream of a
+// plain (uncancelled) run: monotone iterations and cumulative edges.
+func TestStepContextProgress(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := buildEngine(t, g, 4, engine.Config{MaxIterations: 5})
+	var iters []int
+	var lastEdges int64
+	prog := algorithms.NewPageRankProgram(e.Store().Meta().NumVertices, 0.85)
+	res, err := e.RunContext(context.Background(), prog, engine.Forward, func(p engine.Progress) {
+		iters = append(iters, p.Iteration)
+		if p.Edges < lastEdges {
+			t.Errorf("edge counter regressed: %d -> %d", lastEdges, p.Edges)
+		}
+		lastEdges = p.Edges
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("progress called %d times for %d iterations", len(iters), res.Iterations)
+	}
+	for i, it := range iters {
+		if it != i+1 {
+			t.Fatalf("iteration sequence %v not 1..n", iters)
+		}
+	}
+	if lastEdges != res.EdgesTraversed {
+		t.Fatalf("final progress edges %d != result %d", lastEdges, res.EdgesTraversed)
+	}
+}
+
+// TestRunContextCancelDPU exercises the cancellation points of the
+// disk-based strategies (checks between rows and columns).
+func TestRunContextCancelDPU(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := buildEngine(t, g, 4, engine.Config{Strategy: engine.DPU, MaxIterations: 1000})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prog := algorithms.NewPageRankProgram(e.Store().Meta().NumVertices, 0.85)
+	_, err = e.RunContext(ctx, prog, engine.Forward, func(p engine.Progress) {
+		if p.Iteration == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if _, err := e.Run(prog, engine.Forward); err != nil {
+		t.Fatalf("engine unusable after cancelled DPU run: %v", err)
+	}
+}

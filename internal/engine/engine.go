@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -205,13 +206,40 @@ func (r *Result) MTEPS() float64 {
 // Run executes p to completion (inactivity or MaxIterations) in the given
 // direction and returns the final attributes.
 func (e *Engine) Run(p Program, dir Direction) (*Result, error) {
+	return e.RunContext(context.Background(), p, dir, nil)
+}
+
+// Progress reports the state of a running computation after one iteration.
+type Progress struct {
+	// Iteration is the number of iterations completed so far.
+	Iteration int
+	// Edges is the cumulative edge-traversal count.
+	Edges int64
+	// ActiveIntervals counts intervals active for the next iteration.
+	ActiveIntervals int
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
+}
+
+// ProgressFunc observes per-iteration progress. It is called synchronously
+// from the driving goroutine after each completed iteration, so it must be
+// cheap; it must not call back into the Run.
+type ProgressFunc func(Progress)
+
+// RunContext executes p to completion like Run, but honours ctx
+// cancellation — checked before every iteration and at sub-shard-batch
+// (row/column) boundaries within one — and reports per-iteration progress
+// to progress (which may be nil). On cancellation it returns ctx.Err();
+// the engine and its store remain usable for subsequent runs.
+func (e *Engine) RunContext(ctx context.Context, p Program, dir Direction, progress ProgressFunc) (*Result, error) {
 	run, err := e.NewRun(p, dir)
 	if err != nil {
 		return nil, err
 	}
 	defer run.Close()
+	run.SetProgress(progress)
 	for {
-		more, err := run.Step()
+		more, err := run.StepContext(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -56,6 +57,9 @@ type Run struct {
 	edges    int64
 	finished bool
 	closed   bool
+
+	ctx      context.Context // nil outside StepContext
+	progress ProgressFunc
 
 	loadBuf []float64 // reusable interval attr buffer (row phase)
 	accBuf  []float64 // reusable column accumulator
@@ -294,6 +298,44 @@ func (r *Run) loadRowSubShard(d, i, j int) (*storage.SubShard, error) {
 		return r.rowCache[d][i][j], nil
 	}
 	return r.e.store.ReadSubShard(i, j, d == 1)
+}
+
+// SetProgress installs a per-iteration progress observer (nil to clear).
+func (r *Run) SetProgress(f ProgressFunc) { r.progress = f }
+
+// checkCtx reports the context's error, if any. It is consulted at
+// iteration boundaries and between sub-shard batches (rows and columns),
+// so cancellation latency is one row/column of gathering, not a whole
+// iteration.
+func (r *Run) checkCtx() error {
+	if r.ctx == nil {
+		return nil
+	}
+	select {
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// notifyProgress reports the completed iteration to the observer.
+func (r *Run) notifyProgress(activeNext []bool) {
+	if r.progress == nil {
+		return
+	}
+	n := 0
+	for _, a := range activeNext {
+		if a {
+			n++
+		}
+	}
+	r.progress(Progress{
+		Iteration:       r.iter,
+		Edges:           r.edges,
+		ActiveIntervals: n,
+		Elapsed:         time.Since(r.started),
+	})
 }
 
 // Strategy returns the resolved update strategy.

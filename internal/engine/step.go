@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -11,11 +12,31 @@ import (
 // false when the computation has terminated: every interval inactive, or
 // the MaxIterations budget exhausted.
 func (r *Run) Step() (bool, error) {
+	return r.step()
+}
+
+// StepContext is Step with cancellation: ctx is consulted before the
+// iteration and between sub-shard batches (each row of the row phase, each
+// destination interval of the column phase). On cancellation it returns
+// ctx.Err() without corrupting run state; the run may not be stepped
+// further, but the engine and store remain reusable.
+func (r *Run) StepContext(ctx context.Context) (bool, error) {
+	if ctx != nil && ctx != context.Background() {
+		r.ctx = ctx
+		defer func() { r.ctx = nil }()
+	}
+	return r.step()
+}
+
+func (r *Run) step() (bool, error) {
 	if r.closed {
 		return false, fmt.Errorf("engine: Step on closed run")
 	}
 	if r.finished {
 		return false, nil
+	}
+	if err := r.checkCtx(); err != nil {
+		return false, err
 	}
 	if max := r.e.cfg.MaxIterations; max > 0 && r.iter >= max {
 		r.finished = true
@@ -58,6 +79,9 @@ func (r *Run) Step() (bool, error) {
 	// Row phase: SPU-like updates into resident accumulators, ToHub for
 	// on-disk destinations (Algorithm 7 lines 1-16).
 	for i := 0; i < P; i++ {
+		if err := r.checkCtx(); err != nil {
+			return false, err
+		}
 		srcActive := r.active[i]
 		if i < Q {
 			if !srcActive {
@@ -103,6 +127,9 @@ func (r *Run) Step() (bool, error) {
 	// Column phase: FromHub plus resident-source gathering for on-disk
 	// destination intervals (Algorithm 7 lines 17-26).
 	for j := Q; j < P; j++ {
+		if err := r.checkCtx(); err != nil {
+			return false, err
+		}
 		touched := r.columnTouched(j, dirs)
 		if !touched && !r.dense {
 			continue
@@ -121,6 +148,7 @@ func (r *Run) Step() (bool, error) {
 	r.curr, r.next = r.next, r.curr
 	copy(r.active, activeNext)
 	r.iter++
+	r.notifyProgress(activeNext)
 	return true, nil
 }
 

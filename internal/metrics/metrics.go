@@ -6,6 +6,8 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -96,6 +98,40 @@ func (t *Table) String() string {
 
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// ParseBytes parses human byte sizes — "512MiB", "1.5g", "64kb" or a
+// plain count. The inverse of Bytes, shared by the CLI tools.
+// Unrecognized suffixes are an error, never a silent misparse.
+func ParseBytes(s string) (int64, error) {
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	u := strings.ToLower(s)
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"b", 1}, // must come last: every other suffix ends in 'b'
+	} {
+		if strings.HasSuffix(u, suf.s) {
+			u, mult = u[:len(u)-len(suf.s)], suf.m
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(u, 64)
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	b := v * float64(mult)
+	if b >= math.MaxInt64 {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return int64(b), nil
+}
 
 // Bytes formats a byte count human-readably.
 func Bytes(n int64) string {

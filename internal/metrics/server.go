@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ServerStats aggregates the serving subsystem's operational counters.
+// All fields are updated atomically by the scheduler, cache and registry;
+// WritePrometheus renders them in Prometheus text exposition format for
+// the /metrics endpoint.
+type ServerStats struct {
+	// JobsSubmitted counts every accepted job, including cache hits.
+	JobsSubmitted atomic.Int64
+	// JobsStarted counts jobs a worker began executing.
+	JobsStarted atomic.Int64
+	// JobsCompleted counts jobs that finished successfully.
+	JobsCompleted atomic.Int64
+	// JobsFailed counts jobs that ended with a non-cancellation error.
+	JobsFailed atomic.Int64
+	// JobsCancelled counts jobs cancelled while pending or running.
+	JobsCancelled atomic.Int64
+	// CacheHits counts submissions answered from the result cache.
+	CacheHits atomic.Int64
+	// CacheMisses counts submissions that had to run the engine.
+	CacheMisses atomic.Int64
+	// QueueDepth is the number of jobs waiting for a worker (gauge).
+	QueueDepth atomic.Int64
+	// RunningJobs is the number of jobs currently executing (gauge).
+	RunningJobs atomic.Int64
+	// CacheEntries is the number of cached results (gauge).
+	CacheEntries atomic.Int64
+	// CacheBytes is the approximate memory held by the cache (gauge).
+	CacheBytes atomic.Int64
+	// GraphsOpen is the number of graphs in the registry (gauge).
+	GraphsOpen atomic.Int64
+	// EdgesTraversed accumulates engine edge traversals across all jobs.
+	EdgesTraversed atomic.Int64
+}
+
+// promMetric describes one exported metric for WritePrometheus.
+type promMetric struct {
+	name  string
+	help  string
+	typ   string // "counter" or "gauge"
+	value func(*ServerStats) int64
+}
+
+var serverMetrics = []promMetric{
+	{"nxserve_jobs_submitted_total", "Jobs accepted, including cache hits.", "counter",
+		func(s *ServerStats) int64 { return s.JobsSubmitted.Load() }},
+	{"nxserve_jobs_started_total", "Jobs a worker began executing.", "counter",
+		func(s *ServerStats) int64 { return s.JobsStarted.Load() }},
+	{"nxserve_jobs_completed_total", "Jobs finished successfully.", "counter",
+		func(s *ServerStats) int64 { return s.JobsCompleted.Load() }},
+	{"nxserve_jobs_failed_total", "Jobs that ended with an error.", "counter",
+		func(s *ServerStats) int64 { return s.JobsFailed.Load() }},
+	{"nxserve_jobs_cancelled_total", "Jobs cancelled while pending or running.", "counter",
+		func(s *ServerStats) int64 { return s.JobsCancelled.Load() }},
+	{"nxserve_cache_hits_total", "Submissions answered from the result cache.", "counter",
+		func(s *ServerStats) int64 { return s.CacheHits.Load() }},
+	{"nxserve_cache_misses_total", "Submissions that ran the engine.", "counter",
+		func(s *ServerStats) int64 { return s.CacheMisses.Load() }},
+	{"nxserve_queue_depth", "Jobs waiting for a worker.", "gauge",
+		func(s *ServerStats) int64 { return s.QueueDepth.Load() }},
+	{"nxserve_running_jobs", "Jobs currently executing.", "gauge",
+		func(s *ServerStats) int64 { return s.RunningJobs.Load() }},
+	{"nxserve_cache_entries", "Results held by the LRU cache.", "gauge",
+		func(s *ServerStats) int64 { return s.CacheEntries.Load() }},
+	{"nxserve_cache_bytes", "Approximate bytes held by the LRU cache.", "gauge",
+		func(s *ServerStats) int64 { return s.CacheBytes.Load() }},
+	{"nxserve_graphs_open", "Graphs in the registry.", "gauge",
+		func(s *ServerStats) int64 { return s.GraphsOpen.Load() }},
+	{"nxserve_edges_traversed_total", "Engine edge traversals across all jobs.", "counter",
+		func(s *ServerStats) int64 { return s.EdgesTraversed.Load() }},
+}
+
+// WritePrometheus renders every counter and gauge in Prometheus text
+// exposition format (version 0.0.4).
+func (s *ServerStats) WritePrometheus(w io.Writer) error {
+	for _, m := range serverMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServerStatsPrometheus(t *testing.T) {
+	var s ServerStats
+	s.JobsSubmitted.Add(3)
+	s.JobsCancelled.Add(1)
+	s.CacheHits.Add(2)
+	s.QueueDepth.Store(5)
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP nxserve_jobs_submitted_total ",
+		"# TYPE nxserve_jobs_submitted_total counter",
+		"nxserve_jobs_submitted_total 3",
+		"nxserve_jobs_cancelled_total 1",
+		"nxserve_cache_hits_total 2",
+		"# TYPE nxserve_queue_depth gauge",
+		"nxserve_queue_depth 5",
+		"nxserve_jobs_failed_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

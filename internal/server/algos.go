@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	nxgraph "nxgraph"
+)
+
+// algoFunc executes one algorithm over an opened graph under ctx,
+// reporting per-iteration progress, and shapes the outcome as a Result.
+type algoFunc func(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error)
+
+// Algorithms lists the algorithm names the server accepts.
+func Algorithms() []string {
+	names := make([]string, 0, len(algos))
+	for name := range algos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var algos = map[string]algoFunc{
+	"pagerank": runPageRank,
+	"ppr":      runPPR,
+	"bfs":      runBFS,
+	"sssp":     runSSSP,
+	"wcc":      runWCC,
+	"scc":      runSCC,
+	"hits":     runHITS,
+	"kcore":    runKCore,
+}
+
+// fromEngineResult shapes an engine result into the serving form.
+func fromEngineResult(algo, label string, res *nxgraph.Result) *Result {
+	return &Result{
+		Algo:           algo,
+		ValueLabel:     label,
+		Values:         res.Attrs,
+		Iterations:     res.Iterations,
+		EdgesTraversed: res.EdgesTraversed,
+		Strategy:       res.Strategy.String(),
+		ElapsedMS:      res.Elapsed.Milliseconds(),
+	}
+}
+
+// sanitizeInf rewrites +Inf (unreachable in bfs/sssp) to -1 in place so
+// the array is JSON-encodable.
+func sanitizeInf(vals []float64) []float64 {
+	for i, v := range vals {
+		if math.IsInf(v, 1) {
+			vals[i] = -1
+		}
+	}
+	return vals
+}
+
+func runPageRank(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	var (
+		res *nxgraph.Result
+		err error
+	)
+	if p.Eps > 0 {
+		res, err = g.PageRankConvergeContext(ctx, p.Damping, p.Eps, p.Iters, progress)
+	} else {
+		res, err = g.PageRankContext(ctx, p.Damping, p.Iters, progress)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult("pagerank", "rank", res), nil
+}
+
+func runPPR(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.PersonalizedPageRankContext(ctx, p.Root, p.Damping, p.Iters, progress)
+	if err != nil {
+		return nil, err
+	}
+	return fromEngineResult("ppr", "score", res), nil
+}
+
+func runBFS(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.BFSContext(ctx, p.Root, progress)
+	if err != nil {
+		return nil, err
+	}
+	out := fromEngineResult("bfs", "depth", res)
+	out.Values = sanitizeInf(out.Values)
+	out.Ascending = true
+	return out, nil
+}
+
+func runSSSP(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.SSSPContext(ctx, p.Root, progress)
+	if err != nil {
+		return nil, err
+	}
+	out := fromEngineResult("sssp", "distance", res)
+	out.Values = sanitizeInf(out.Values)
+	out.Ascending = true
+	return out, nil
+}
+
+func runWCC(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.WCCContext(ctx, progress)
+	if err != nil {
+		return nil, err
+	}
+	out := fromEngineResult("wcc", "component", res)
+	comps := make(map[int64]struct{})
+	for _, v := range out.Values {
+		comps[int64(v)] = struct{}{}
+	}
+	out.Stats = map[string]float64{"num_components": float64(len(comps))}
+	return out, nil
+}
+
+func runSCC(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.SCCContext(ctx, progress)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(res.Components))
+	for i, c := range res.Components {
+		vals[i] = float64(c)
+	}
+	return &Result{
+		Algo:       "scc",
+		ValueLabel: "component",
+		Values:     vals,
+		Stats: map[string]float64{
+			"num_components": float64(res.NumComponents()),
+			"rounds":         float64(res.Rounds),
+		},
+		Iterations:     res.Iterations,
+		EdgesTraversed: res.EdgesTraversed,
+		ElapsedMS:      res.Elapsed.Milliseconds(),
+	}, nil
+}
+
+func runHITS(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	start := time.Now()
+	// HITSContext has no engine.Result; recover the traversal count
+	// from its per-half-step progress stream (Edges is cumulative).
+	var edges int64
+	auth, hub, err := g.HITSContext(ctx, p.Iters, func(pr nxgraph.Progress) {
+		edges = pr.Edges
+		if progress != nil {
+			progress(pr)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algo:       "hits",
+		ValueLabel: "authority",
+		Values:     auth,
+		Aux:        map[string][]float64{"hub": hub},
+		// Each HITS iteration is two engine half-steps; report engine
+		// iterations so the count matches the job's progress stream.
+		Iterations:     2 * p.Iters,
+		EdgesTraversed: edges,
+		ElapsedMS:      time.Since(start).Milliseconds(),
+	}, nil
+}
+
+func runKCore(ctx context.Context, g *nxgraph.Graph, p Params, progress nxgraph.ProgressFunc) (*Result, error) {
+	res, err := g.KCoreContext(ctx, progress)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(res.Core))
+	for i, c := range res.Core {
+		vals[i] = float64(c)
+	}
+	return &Result{
+		Algo:       "kcore",
+		ValueLabel: "core",
+		Values:     vals,
+		Stats: map[string]float64{
+			"max_core": float64(res.MaxCore),
+			"passes":   float64(res.Passes),
+		},
+		Iterations:     res.Iterations,
+		EdgesTraversed: res.EdgesTraversed,
+		ElapsedMS:      res.Elapsed.Milliseconds(),
+	}, nil
+}
+
+// validateAlgo checks the algorithm exists and its parameters are sane
+// for the target graph before the job is queued, so obvious mistakes
+// fail synchronously at submit time.
+func validateAlgo(algo string, p Params, g *nxgraph.Graph) error {
+	if _, ok := algos[algo]; !ok {
+		return fmt.Errorf("unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+	switch algo {
+	case "bfs", "sssp", "ppr":
+		if p.Root >= g.NumVertices() {
+			return fmt.Errorf("%s root %d out of range n=%d", algo, p.Root, g.NumVertices())
+		}
+	case "wcc", "scc", "hits", "kcore":
+		if !g.HasTranspose() {
+			return fmt.Errorf("%s requires a store preprocessed with Transpose", algo)
+		}
+	}
+	if p.Iters < 0 {
+		return fmt.Errorf("iters must be >= 0")
+	}
+	if p.Damping < 0 || p.Damping >= 1 || math.IsNaN(p.Damping) {
+		return fmt.Errorf("damping must be in [0, 1)")
+	}
+	if p.Eps < 0 || math.IsNaN(p.Eps) {
+		return fmt.Errorf("eps must be >= 0")
+	}
+	return nil
+}

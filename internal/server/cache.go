@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"nxgraph/internal/metrics"
+)
+
+// resultCache is a size-bounded LRU of completed algorithm results keyed
+// by the canonical (graph, algorithm, params) string. The bound is in
+// approximate bytes (result arrays dominate); inserting over budget
+// evicts from the cold end. A single result larger than the whole budget
+// is not cached.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element holding *cacheEntry
+	stats    *metrics.ServerStats
+}
+
+type cacheEntry struct {
+	key   string
+	res   *Result
+	bytes int64
+}
+
+func newResultCache(maxBytes int64, stats *metrics.ServerStats) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		stats:    stats,
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) a result and evicts LRU entries until the
+// byte budget holds again.
+func (c *resultCache) put(key string, res *Result) {
+	size := res.sizeBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.curBytes += size - ent.bytes
+		ent.res, ent.bytes = res, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, bytes: size})
+		c.curBytes += size
+	}
+	for c.curBytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.curBytes -= ent.bytes
+	}
+	c.publish()
+}
+
+// invalidateGraph drops every entry belonging to graph (called when a
+// graph is closed or replaced, so stale results cannot outlive their
+// store).
+func (c *resultCache) invalidateGraph(graph string) {
+	prefix := graph + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if len(ent.key) > len(prefix) && ent.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			c.curBytes -= ent.bytes
+		}
+		el = next
+	}
+	c.publish()
+}
+
+// publish pushes entry/byte gauges to the stats sink. Caller holds mu.
+func (c *resultCache) publish() {
+	if c.stats == nil {
+		return
+	}
+	c.stats.CacheEntries.Store(int64(c.ll.Len()))
+	c.stats.CacheBytes.Store(c.curBytes)
+}
+
+// len returns the entry count (for tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

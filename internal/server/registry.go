@@ -1,0 +1,226 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	nxgraph "nxgraph"
+	"nxgraph/internal/metrics"
+)
+
+// errAlreadyOpen marks open() failures caused by a name collision (the
+// HTTP layer maps it to 409 instead of 400).
+var errAlreadyOpen = errors.New("graph already open")
+
+// errNotOpen marks closeEntry() failures where the registration is no
+// longer current (HTTP 404) — distinct from store-close I/O errors.
+var errNotOpen = errors.New("graph not open")
+
+// graphEntry is one opened DSSS store in the registry. runMu serializes
+// engine executions on the store: the attribute and hub files backing a
+// run are per-store resources, so two concurrent runs on one graph would
+// corrupt each other. Distinct graphs run fully in parallel.
+//
+// uid is unique per registration — cache keys embed it rather than the
+// name, so a name rebound to a different store can never hit results
+// cached for the previous store, regardless of close/reopen timing.
+type graphEntry struct {
+	name   string
+	uid    string
+	dir    string
+	graph  *nxgraph.Graph
+	opened time.Time
+
+	runMu  sync.Mutex
+	closed bool
+	// busy is the scheduler's dispatch claim: a worker takes a job
+	// only after CASing busy, so pool slots never park on runMu behind
+	// another worker — same-graph jobs wait in the queue while other
+	// graphs' jobs run. (runMu still guards against registry close.)
+	busy atomic.Bool
+	// draining is set when closure begins, before the job sweep: new
+	// submissions are refused and a job that slipped past the sweep
+	// refuses to start, so close never waits behind a full engine run
+	// born during the close itself.
+	draining atomic.Bool
+}
+
+// GraphInfo is the JSON view of a registered graph.
+type GraphInfo struct {
+	Name        string    `json:"name"`
+	Dir         string    `json:"dir"`
+	NumVertices uint32    `json:"num_vertices"`
+	NumEdges    int64     `json:"num_edges"`
+	P           int       `json:"p"`
+	OpenedAt    time.Time `json:"opened_at"`
+}
+
+// registry holds the set of opened graphs by name. Store directories
+// are tracked too: one dir may be open under at most one name, because
+// the per-graph run serialization (runMu) keys off the entry — two
+// entries over one store would defeat it and corrupt the store's
+// attribute and hub files under concurrent jobs.
+type registry struct {
+	mu     sync.Mutex
+	graphs map[string]*graphEntry
+	dirs   map[string]string // canonical store dir -> graph name
+	seq    int64             // uid generator
+	stats  *metrics.ServerStats
+}
+
+func newRegistry(stats *metrics.ServerStats) *registry {
+	return &registry{
+		graphs: make(map[string]*graphEntry),
+		dirs:   make(map[string]string),
+		stats:  stats,
+	}
+}
+
+// canonDir canonicalizes a store dir for the dirs index.
+func canonDir(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return filepath.Clean(dir)
+}
+
+// open opens the DSSS store at dir and registers it under name. Opening
+// an already-registered name, or a dir already open under another name,
+// fails; close the existing registration first.
+func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: graph name must not be empty")
+	}
+	cdir := canonDir(dir)
+	check := func() error {
+		if _, ok := r.graphs[name]; ok {
+			return fmt.Errorf("server: graph %q: %w", name, errAlreadyOpen)
+		}
+		if other, ok := r.dirs[cdir]; ok {
+			return fmt.Errorf("server: store %s: %w as graph %q", dir, errAlreadyOpen, other)
+		}
+		return nil
+	}
+	r.mu.Lock()
+	err := check()
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	g, err := nxgraph.Open(dir, opt)
+	if err != nil {
+		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
+	}
+	e := &graphEntry{name: name, dir: dir, graph: g, opened: time.Now()}
+	r.mu.Lock()
+	if err := check(); err != nil {
+		r.mu.Unlock()
+		g.Close()
+		return nil, err
+	}
+	r.seq++
+	e.uid = fmt.Sprintf("%s#%d", name, r.seq)
+	r.graphs[name] = e
+	r.dirs[cdir] = name
+	if r.stats != nil {
+		// Published under mu so concurrent open/close cannot store
+		// stale gauge values out of order.
+		r.stats.GraphsOpen.Store(int64(len(r.graphs)))
+	}
+	r.mu.Unlock()
+	return e, nil
+}
+
+// get returns the entry for name.
+func (r *registry) get(name string) (*graphEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.graphs[name]
+	return e, ok
+}
+
+// list returns info for every registered graph, sorted by name.
+func (r *registry) list() []GraphInfo {
+	r.mu.Lock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		out[i] = e.info()
+	}
+	return out
+}
+
+func (e *graphEntry) info() GraphInfo {
+	return GraphInfo{
+		Name:        e.name,
+		Dir:         e.dir,
+		NumVertices: e.graph.NumVertices(),
+		NumEdges:    e.graph.NumEdges(),
+		P:           e.graph.P(),
+		OpenedAt:    e.opened,
+	}
+}
+
+// closeEntry removes the given registration and closes its store. It
+// no-ops (with an error) if the name has since been rebound to a
+// different registration, so a stale DELETE cannot kill a fresh graph.
+// It waits for any in-flight run on the graph to finish (callers should
+// cancel the graph's jobs first if they want prompt closure). The name
+// frees immediately, but the dir index entry is held until the
+// in-flight run has drained — otherwise the same store could be
+// reopened and run concurrently with the old run's final sub-shard
+// batches.
+func (r *registry) closeEntry(e *graphEntry) error {
+	r.mu.Lock()
+	if r.graphs[e.name] != e {
+		r.mu.Unlock()
+		return fmt.Errorf("server: graph %q: %w", e.name, errNotOpen)
+	}
+	delete(r.graphs, e.name)
+	if r.stats != nil {
+		r.stats.GraphsOpen.Store(int64(len(r.graphs)))
+	}
+	r.mu.Unlock()
+	e.runMu.Lock()
+	e.closed = true
+	e.runMu.Unlock()
+	err := e.graph.Close()
+	r.mu.Lock()
+	delete(r.dirs, canonDir(e.dir))
+	r.mu.Unlock()
+	return err
+}
+
+// closeAll closes every graph (shutdown path). The dir index is cleared
+// only after every run has drained, mirroring close.
+func (r *registry) closeAll() {
+	r.mu.Lock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.graphs = make(map[string]*graphEntry)
+	if r.stats != nil {
+		r.stats.GraphsOpen.Store(0)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.runMu.Lock()
+		e.closed = true
+		e.runMu.Unlock()
+		e.graph.Close()
+	}
+	r.mu.Lock()
+	r.dirs = make(map[string]string)
+	r.mu.Unlock()
+}

@@ -1,0 +1,449 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nxgraph/internal/metrics"
+)
+
+// ErrQueueFull is returned by submit when the pending-job queue is at
+// capacity; HTTP maps it to 503.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// errShutdown is returned by submit after shutdown began; HTTP maps it
+// to 503 (a server condition, not a client error).
+var errShutdown = errors.New("server: shutting down")
+
+// errGraphClosing is returned by submit while the target graph is being
+// closed; HTTP maps it to 409.
+var errGraphClosing = errors.New("server: graph is closing")
+
+// scheduler owns the bounded worker pool and the job table. Jobs enter
+// through submit (which consults the result cache first), wait in a
+// bounded pending list, and execute on one of workers goroutines. The
+// pending list (not a channel) lets cancellation remove a queued job
+// immediately, freeing its capacity slot instead of leaving a corpse
+// that still counts against the bound. Per graph, execution serializes
+// on the graphEntry's runMu; the pool bound caps total engine
+// concurrency across graphs.
+type scheduler struct {
+	cache *resultCache
+	stats *metrics.ServerStats
+
+	mu            sync.Mutex
+	cond          *sync.Cond // signalled on pending growth and on stop
+	pending       []*Job     // waiting jobs, oldest first
+	queueCap      int
+	stopped       bool
+	jobs          map[string]*Job
+	seq           int64
+	retain        int
+	retainBytes   int64 // byte bound on retained terminal results
+	terminal      []terminalRef
+	terminalBytes int64
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+}
+
+func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *resultCache, stats *metrics.ServerStats) *scheduler {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	if retainJobs <= 0 {
+		retainJobs = 1000
+	}
+	if retainBytes <= 0 {
+		retainBytes = 256 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		cache:       cache,
+		stats:       stats,
+		queueCap:    queueCap,
+		jobs:        make(map[string]*Job),
+		retain:      retainJobs,
+		retainBytes: retainBytes,
+		baseCtx:     ctx,
+		cancelAll:   cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit validates, registers and enqueues a job for entry. A cache hit
+// completes the job immediately without queueing.
+func (s *scheduler) submit(entry *graphEntry, algo string, params Params) (*Job, error) {
+	params = params.withDefaults(algo)
+	if err := validateAlgo(algo, params, entry.graph); err != nil {
+		return nil, err
+	}
+	if entry.draining.Load() {
+		return nil, errGraphClosing
+	}
+	j := &Job{
+		Graph:     entry.name,
+		Algo:      algo,
+		Params:    params,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		entry:     entry,
+	}
+
+	// The sequence id is allocated inside the same critical section as
+	// the accept checks: rejections must not consume an id, because
+	// existed() relies on "every id at or below seq was registered" to
+	// tell pruned jobs (410) apart from never-created ones (404).
+	key := cacheKey(entry.uid, algo, params)
+	if res, ok := s.cache.get(key); ok {
+		j.state = Done
+		j.result = res
+		j.cacheHit = true
+		j.started = j.submitted
+		j.finished = j.submitted
+		close(j.done)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return nil, errShutdown
+		}
+		s.seq++
+		j.ID = fmt.Sprintf("j-%08d", s.seq)
+		s.jobs[j.ID] = j
+		s.mu.Unlock()
+		s.retire(j, res)
+		s.stats.JobsSubmitted.Add(1)
+		s.stats.CacheHits.Add(1)
+		s.stats.JobsCompleted.Add(1)
+		return j, nil
+	}
+	j.state = Pending
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, errShutdown
+	}
+	if len(s.pending) >= s.queueCap {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("j-%08d", s.seq)
+	s.jobs[j.ID] = j
+	s.pending = append(s.pending, j)
+	s.stats.QueueDepth.Store(int64(len(s.pending)))
+	s.mu.Unlock()
+	s.cond.Signal()
+	// Counters move only for accepted jobs, so submitted ==
+	// completed + failed + cancelled + pending + running holds.
+	// CacheMisses is counted at execution time (when the engine
+	// actually runs), so a queued duplicate later served by the
+	// execute-time cache check registers as a hit, not a miss.
+	s.stats.JobsSubmitted.Add(1)
+	return j, nil
+}
+
+// terminalRef tracks one retained terminal job for pruning.
+type terminalRef struct {
+	id    string
+	bytes int64 // result footprint pinned by the retained job
+}
+
+// retire records a terminal job and prunes the oldest terminal jobs
+// beyond the retention caps — a count bound and a byte bound on the
+// pinned results — so the job table cannot grow without bound (nor pin
+// multi-GB result arrays) in a long-running server. res is the result
+// the job retains (nil for cancelled/failed jobs). Cache-hit jobs
+// account at full size even though they initially share the owner's
+// array: the cache can evict (and the owner be pruned) while this job
+// still pins it, so under-counting shared results would let the byte
+// bound be defeated. The newest terminal job is never pruned, so a
+// result always survives long enough to be fetched at least once.
+// Callers may hold j.mu — retire must not take it, which is why res is
+// passed explicitly.
+func (s *scheduler) retire(j *Job, res *Result) {
+	var bytes int64
+	if res != nil {
+		bytes = res.sizeBytes()
+	}
+	s.mu.Lock()
+	s.terminal = append(s.terminal, terminalRef{j.ID, bytes})
+	s.terminalBytes += bytes
+	for len(s.terminal) > 1 &&
+		(len(s.terminal) > s.retain || s.terminalBytes > s.retainBytes) {
+		old := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		s.terminalBytes -= old.bytes
+		delete(s.jobs, old.id)
+	}
+	s.mu.Unlock()
+}
+
+// removePending drops j from the pending list if still queued, freeing
+// its capacity slot. Caller must ensure j cannot re-enter the list.
+func (s *scheduler) removePending(j *Job) {
+	s.mu.Lock()
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.stats.QueueDepth.Store(int64(len(s.pending)))
+	s.mu.Unlock()
+}
+
+// get returns the job with the given id.
+func (s *scheduler) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// existed reports whether id names a job that was once registered but
+// has since been pruned from the retention window. Ids are sequential
+// ("j-%08d") and registration is immediate, so any canonically-formed
+// id at or below the current sequence that is absent from the table was
+// pruned. Non-canonical spellings ("j-5", trailing garbage) are not
+// job ids at all and report false.
+func (s *scheduler) existed(id string) bool {
+	digits, ok := strings.CutPrefix(id, "j-")
+	if !ok || len(digits) < 8 {
+		return false
+	}
+	n, err := strconv.ParseInt(digits, 10, 64)
+	// Round-tripping through the id formatter rejects every
+	// non-canonical spelling (extra zero-padding, trailing garbage is
+	// already a ParseInt error) at any digit width.
+	if err != nil || n <= 0 || fmt.Sprintf("j-%08d", n) != id {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n <= s.seq
+}
+
+// list returns a snapshot of every known job, newest first.
+func (s *scheduler) list() []Snapshot {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	// Ids are zero-padded sequence numbers; compare length before
+	// bytes so ordering survives ids wider than the 8-digit padding.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a > b
+	})
+	return out
+}
+
+// cancelGraph cancels every live job belonging to exactly this
+// registration (pointer identity, so a name rebound to a new entry is
+// untouched by a stale close).
+func (s *scheduler) cancelGraph(e *graphEntry) {
+	s.mu.Lock()
+	var victims []*Job
+	for _, j := range s.jobs {
+		if j.entry == e {
+			victims = append(victims, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range victims {
+		s.cancelJob(j)
+	}
+}
+
+// cancelJob requests cancellation: a pending job terminates immediately,
+// a running job has its context cancelled and terminates at the engine's
+// next cancellation point. Terminal jobs are left untouched (returns
+// false).
+func (s *scheduler) cancelJob(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case Pending:
+		j.state = Cancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.done)
+		s.removePending(j)
+		s.retire(j, nil)
+		s.stats.JobsCancelled.Add(1)
+		return true
+	case Running:
+		if !j.cancelReq {
+			j.cancelReq = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// worker drains the pending list, executing one job at a time. It takes
+// the oldest job whose graph is not already running (claimed via the
+// entry's busy flag) so one graph's backlog never idles a pool slot
+// that another graph's job could use.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var j *Job
+		for {
+			for i, p := range s.pending {
+				if p.entry.busy.CompareAndSwap(false, true) {
+					j = p
+					s.pending = append(s.pending[:i], s.pending[i+1:]...)
+					break
+				}
+			}
+			if j != nil {
+				break
+			}
+			if s.stopped && len(s.pending) == 0 {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		s.stats.QueueDepth.Store(int64(len(s.pending)))
+		s.mu.Unlock()
+		s.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state. The caller (worker) holds
+// the entry's busy claim; it is released here, waking waiters that may
+// have skipped this graph's queued jobs. The release happens under s.mu
+// — a worker that saw busy=true does so while holding the lock, so the
+// release (and its broadcast) cannot slip between that observation and
+// the worker's cond.Wait (the classic lost-wakeup window).
+func (s *scheduler) execute(j *Job) {
+	defer func() {
+		s.mu.Lock()
+		j.entry.busy.Store(false)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != Pending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.stats.JobsStarted.Add(1)
+	s.stats.RunningJobs.Add(1)
+	defer s.stats.RunningJobs.Add(-1)
+
+	// Serialize engine runs per graph; fail fast if the graph was
+	// closed while the job waited. The cache insert happens inside the
+	// same critical section: graph closure takes runMu before its
+	// post-close cache invalidation, so an in-flight result keyed by
+	// this registration's uid is always inserted before the uid's
+	// entries are purged — nothing lingers after close. (Stale serving
+	// to a rebound name is impossible regardless: the new registration
+	// has a fresh uid.)
+	j.entry.runMu.Lock()
+	var res *Result
+	var err error
+	cacheHit := false
+	key := cacheKey(j.entry.uid, j.Algo, j.Params)
+	if j.entry.closed || j.entry.draining.Load() {
+		// draining catches a job that raced past both submit's check
+		// and the close sweep — it must not start a run the close
+		// would then wait out.
+		err = fmt.Errorf("server: graph %q closed", j.Graph)
+	} else if cached, ok := s.cache.get(key); ok {
+		// An identical job that queued behind ours may have already
+		// produced this result; don't repeat a full engine run.
+		res, cacheHit = cached, true
+		s.stats.CacheHits.Add(1)
+	} else {
+		s.stats.CacheMisses.Add(1)
+		res, err = algos[j.Algo](ctx, j.entry.graph, j.Params, j.setProgress)
+		if err == nil {
+			s.cache.put(key, res)
+		}
+	}
+	j.entry.runMu.Unlock()
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = Done
+		j.result = res
+		j.cacheHit = cacheHit
+		s.stats.JobsCompleted.Add(1)
+		if !cacheHit {
+			s.stats.EdgesTraversed.Add(res.EdgesTraversed)
+		}
+	case errors.Is(err, context.Canceled):
+		j.state = Cancelled
+		j.err = context.Canceled
+		s.stats.JobsCancelled.Add(1)
+	default:
+		j.state = Failed
+		j.err = err
+		s.stats.JobsFailed.Add(1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+	s.retire(j, res)
+}
+
+// shutdown cancels all work and waits for the workers to drain.
+func (s *scheduler) shutdown() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j) // empties the pending list, cancels running ctxs
+	}
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.cancelAll()
+	s.wg.Wait()
+}

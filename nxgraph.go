@@ -19,11 +19,21 @@
 //	defer gr.Close()
 //	ranks, _ := gr.PageRank(0.85, 10)
 //
+// Every algorithm also has a Context variant (PageRankContext, BFSContext,
+// RunProgramContext, ...) that honours context cancellation — checked at
+// iteration and sub-shard-batch boundaries — and reports per-iteration
+// Progress to an optional callback. These power the serving layer in
+// internal/server: a long-running HTTP service (cmd/nxserve) with a graph
+// registry, an asynchronous job scheduler with a bounded worker pool, and
+// an LRU result cache.
+//
 // The cmd/ directory provides the same functionality as CLI tools
-// (nxgen, nxpre, nxrun, nxbench); examples/ contains runnable scenarios.
+// (nxgen, nxpre, nxrun, nxbench, nxserve); examples/ contains runnable
+// scenarios.
 package nxgraph
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -51,6 +61,12 @@ type (
 	// DiskProfile models a disk (bandwidth + seek); see SSD, HDD,
 	// Unthrottled.
 	DiskProfile = diskio.Profile
+	// Progress reports the state of a running computation after each
+	// iteration (see ProgressFunc).
+	Progress = engine.Progress
+	// ProgressFunc observes per-iteration progress of the *Context
+	// algorithm variants. Called synchronously; must be cheap.
+	ProgressFunc = engine.ProgressFunc
 )
 
 // Disk profiles for Options.Profile.
@@ -219,6 +235,10 @@ func (g *Graph) NumEdges() int64 { return g.store.Meta().NumEdges }
 // P returns the interval count.
 func (g *Graph) P() int { return g.store.Meta().P }
 
+// HasTranspose reports whether the store carries the reverse-edge
+// replica (required by WCC, SCC, HITS and KCore).
+func (g *Graph) HasTranspose() bool { return g.store.Meta().HasTranspose }
+
 // RemapTable returns, for each dense id, the vertex's id in the edge
 // list passed to Build (or the raw index for BuildFromFile).
 func (g *Graph) RemapTable() ([]uint64, error) { return g.store.IDMap() }
@@ -237,6 +257,20 @@ func (g *Graph) PageRank(damping float64, iters int) (*Result, error) {
 	return algorithms.PageRank(g.engine, damping, iters)
 }
 
+// PageRankContext is PageRank with cancellation and per-iteration
+// progress reporting (progress may be nil). On cancellation it returns
+// ctx.Err() and the graph remains usable for further runs; the same
+// contract holds for every *Context method below.
+func (g *Graph) PageRankContext(ctx context.Context, damping float64, iters int, progress ProgressFunc) (*Result, error) {
+	return algorithms.PageRankContext(ctx, g.engine, damping, iters, progress)
+}
+
+// PageRankConvergeContext is PageRankConverge with cancellation and
+// progress reporting.
+func (g *Graph) PageRankConvergeContext(ctx context.Context, damping, eps float64, maxIters int, progress ProgressFunc) (*Result, error) {
+	return algorithms.PageRankConvergeContext(ctx, g.engine, damping, eps, maxIters, progress)
+}
+
 // PageRankConverge iterates until the largest rank change is below eps.
 func (g *Graph) PageRankConverge(damping, eps float64, maxIters int) (*Result, error) {
 	return algorithms.PageRankConverge(g.engine, damping, eps, maxIters)
@@ -248,9 +282,20 @@ func (g *Graph) PersonalizedPageRank(root uint32, damping float64, iters int) (*
 	return algorithms.PersonalizedPageRank(g.engine, root, damping, iters)
 }
 
+// PersonalizedPageRankContext is PersonalizedPageRank with cancellation
+// and progress reporting.
+func (g *Graph) PersonalizedPageRankContext(ctx context.Context, root uint32, damping float64, iters int, progress ProgressFunc) (*Result, error) {
+	return algorithms.PersonalizedPageRankContext(ctx, g.engine, root, damping, iters, progress)
+}
+
 // BFS returns hop distances from root (+Inf where unreachable).
 func (g *Graph) BFS(root uint32) (*Result, error) {
 	return algorithms.BFS(g.engine, root)
+}
+
+// BFSContext is BFS with cancellation and progress reporting.
+func (g *Graph) BFSContext(ctx context.Context, root uint32, progress ProgressFunc) (*Result, error) {
+	return algorithms.BFSContext(ctx, g.engine, root, progress)
 }
 
 // SSSP returns weighted shortest-path distances from root (+Inf where
@@ -259,17 +304,37 @@ func (g *Graph) SSSP(root uint32) (*Result, error) {
 	return algorithms.SSSP(g.engine, root)
 }
 
+// SSSPContext is SSSP with cancellation and progress reporting.
+func (g *Graph) SSSPContext(ctx context.Context, root uint32, progress ProgressFunc) (*Result, error) {
+	return algorithms.SSSPContext(ctx, g.engine, root, progress)
+}
+
 // WCC labels every vertex with the smallest id in its weakly connected
 // component. Requires Transpose.
 func (g *Graph) WCC() (*Result, error) { return algorithms.WCC(g.engine) }
 
+// WCCContext is WCC with cancellation and progress reporting.
+func (g *Graph) WCCContext(ctx context.Context, progress ProgressFunc) (*Result, error) {
+	return algorithms.WCCContext(ctx, g.engine, progress)
+}
+
 // SCC computes strongly connected components. Requires Transpose.
 func (g *Graph) SCC() (*algorithms.SCCResult, error) { return algorithms.SCC(g.engine) }
+
+// SCCContext is SCC with cancellation and progress reporting.
+func (g *Graph) SCCContext(ctx context.Context, progress ProgressFunc) (*algorithms.SCCResult, error) {
+	return algorithms.SCCContext(ctx, g.engine, progress)
+}
 
 // HITS runs hubs-and-authorities for iters iterations. Requires
 // Transpose.
 func (g *Graph) HITS(iters int) (auth, hub []float64, err error) {
 	return algorithms.HITS(g.engine, iters)
+}
+
+// HITSContext is HITS with cancellation and progress reporting.
+func (g *Graph) HITSContext(ctx context.Context, iters int, progress ProgressFunc) (auth, hub []float64, err error) {
+	return algorithms.HITSContext(ctx, g.engine, iters, progress)
 }
 
 // KCore computes every vertex's core number in the undirected view of
@@ -278,12 +343,24 @@ func (g *Graph) KCore() (*algorithms.KCoreResult, error) {
 	return algorithms.KCore(g.engine)
 }
 
+// KCoreContext is KCore with cancellation and progress reporting.
+func (g *Graph) KCoreContext(ctx context.Context, progress ProgressFunc) (*algorithms.KCoreResult, error) {
+	return algorithms.KCoreContext(ctx, g.engine, progress)
+}
+
 // Verify checks every on-disk invariant of the graph's DSSS store.
 func (g *Graph) Verify() error { return storage.Verify(g.store) }
 
 // RunProgram executes a custom Program in the forward direction.
 func (g *Graph) RunProgram(p Program) (*Result, error) {
 	return g.engine.Run(p, engine.Forward)
+}
+
+// RunProgramContext executes a custom Program in the forward direction
+// with cancellation (checked at iteration and sub-shard-batch boundaries)
+// and per-iteration progress reporting (progress may be nil).
+func (g *Graph) RunProgramContext(ctx context.Context, p Program, progress ProgressFunc) (*Result, error) {
+	return g.engine.RunContext(ctx, p, engine.Forward, progress)
 }
 
 // Engine exposes the underlying engine for advanced orchestration
