@@ -1,0 +1,107 @@
+// bench2json converts `go test -bench` text output (read from stdin)
+// into a machine-readable JSON document (written to stdout), for CI jobs
+// that archive benchmark trajectories as artifacts.
+//
+//	go test -run '^$' -bench . -benchtime=1x -count=3 ./... | bench2json > BENCH_ci.json
+//
+// Every benchmark result line becomes one entry — repeated -count runs
+// stay separate entries so downstream tooling can compute its own
+// dispersion — and the goos/goarch/cpu/pkg context lines are attached to
+// the entries they precede.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Pkg        string `json:"pkg,omitempty"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op", plus any
+	// custom b.ReportMetric units (e.g. "MTEPS").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// parseLine parses one "BenchmarkName-8  N  V unit  V unit..." line,
+// reporting ok=false for non-benchmark lines.
+func parseLine(pkg, line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Pkg: pkg, Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+// convert reads bench output lines and assembles the document.
+func convert(lines []string) Doc {
+	doc := Doc{Benchmarks: []Entry{}}
+	pkg := ""
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if e, ok := parseLine(pkg, line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, e)
+			}
+		}
+	}
+	return doc
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	doc := convert(lines)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench2json: no benchmark lines found in input")
+		os.Exit(1)
+	}
+}

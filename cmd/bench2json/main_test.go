@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nxgraph/internal/dynamic
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDeltaOverlayPageRank 	       1	   2383498 ns/op	        70.91 MTEPS
+BenchmarkDeltaOverlayPageRank 	       1	   2400000 ns/op	        69.00 MTEPS
+PASS
+ok  	nxgraph/internal/dynamic	0.056s
+pkg: nxgraph/internal/storage
+BenchmarkEncodeSubShard-8   	     120	     9876543 ns/op	 1024 B/op	       3 allocs/op
+FAIL? no
+`
+
+func TestConvert(t *testing.T) {
+	doc := convert(splitLines(sample))
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Fatalf("context lines not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkDeltaOverlayPageRank" || b0.Pkg != "nxgraph/internal/dynamic" {
+		t.Fatalf("entry 0 = %+v", b0)
+	}
+	if b0.Iterations != 1 || b0.Metrics["ns/op"] != 2383498 || b0.Metrics["MTEPS"] != 70.91 {
+		t.Fatalf("entry 0 metrics = %+v", b0)
+	}
+	b2 := doc.Benchmarks[2]
+	if b2.Pkg != "nxgraph/internal/storage" || b2.Metrics["allocs/op"] != 3 {
+		t.Fatalf("entry 2 = %+v", b2)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	nxgraph/internal/dynamic	0.056s",
+		"Benchmark text without numbers",
+		"BenchmarkHalf 	 notanumber	 1 ns/op",
+	} {
+		if _, ok := parseLine("p", line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

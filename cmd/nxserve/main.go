@@ -1,20 +1,29 @@
 // nxserve serves graph algorithms over preprocessed DSSS stores through
 // an HTTP/JSON API: an async job scheduler with a bounded worker pool,
-// cooperative cancellation, an LRU result cache and Prometheus metrics.
+// cooperative cancellation, an LRU result cache, online edge ingestion
+// with delta-overlay serving and background compaction, and Prometheus
+// metrics.
 //
 // Usage:
 //
 //	nxserve -listen :8080 -graph social=/data/social -graph web=/data/web
-//	nxserve -listen :8080 -workers 4 -cache 512MiB
+//	nxserve -listen :8080 -workers 4 -cache 512MiB -delta-threshold 16384
 //
-// Graphs can also be opened at runtime:
+// Graphs can also be opened — and mutated — at runtime:
 //
 //	curl -X POST localhost:8080/v1/graphs -d '{"name":"g","dir":"/data/g"}'
 //	curl -X POST localhost:8080/v1/graphs/g/jobs -d '{"algo":"pagerank","params":{"iters":20}}'
+//	curl -X POST localhost:8080/v1/graphs/g/edges -d '{"add":[{"src":1,"dst":2}]}'
+//	curl -X POST localhost:8080/v1/graphs/g/compact
 //	curl localhost:8080/v1/jobs/j-00000001
 //	curl 'localhost:8080/v1/jobs/j-00000001/result?top=10'
 //	curl -X POST localhost:8080/v1/jobs/j-00000001/cancel
 //	curl localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the listener stops
+// accepting, in-flight HTTP requests get a grace period to finish, then
+// the scheduler cancels remaining jobs, drains its workers and closes
+// every graph. A second signal forces immediate exit.
 package main
 
 import (
@@ -51,12 +60,14 @@ func (g *graphFlags) Set(s string) error {
 func main() {
 	var graphs graphFlags
 	var (
-		listen   = flag.String("listen", ":8080", "address to serve on")
-		workers  = flag.Int("workers", 2, "concurrent engine executions")
-		queueCap = flag.Int("queue", 64, "pending-job queue capacity")
-		cache    = flag.String("cache", "256MiB", "result cache budget (0 disables caching)")
-		mem      = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
-		threads  = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
+		listen    = flag.String("listen", ":8080", "address to serve on")
+		workers   = flag.Int("workers", 2, "concurrent engine executions")
+		queueCap  = flag.Int("queue", 64, "pending-job queue capacity")
+		cache     = flag.String("cache", "256MiB", "result cache budget (0 disables caching)")
+		mem       = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
+		threads   = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
+		deltaThr  = flag.Int("delta-threshold", 0, "pending deltas that trigger auto-compaction (0 = default 8192, negative disables)")
+		graceSecs = flag.Int("grace", 10, "seconds to drain in-flight HTTP requests on shutdown")
 	)
 	flag.Var(&graphs, "graph", "preload a store: name=dir (repeatable)")
 	flag.Parse()
@@ -76,14 +87,15 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueCap:     *queueCap,
-		CacheBytes:   cacheBytes,
-		GraphOptions: nxgraph.Options{Threads: *threads, MemoryBudget: budget},
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheBytes:     cacheBytes,
+		DeltaThreshold: *deltaThr,
+		GraphOptions:   nxgraph.Options{Threads: *threads, MemoryBudget: budget},
 	})
-	defer srv.Close()
 	for _, g := range graphs {
 		if err := srv.OpenGraph(g.name, g.dir, nxgraph.Options{Threads: *threads, MemoryBudget: budget}); err != nil {
+			srv.Close()
 			fmt.Fprintln(os.Stderr, "nxserve:", err)
 			os.Exit(1)
 		}
@@ -91,18 +103,40 @@ func main() {
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
 	go func() {
 		log.Printf("nxserve listening on %s (%d workers, %s cache)", *listen, *workers, *cache)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("nxserve: %v", err)
-		}
+		serveErr <- httpSrv.ListenAndServe()
 	}()
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	select {
+	case err := <-serveErr:
+		// Listener died (bad address, port in use, ...): release graphs
+		// and report, instead of log.Fatal'ing past the cleanup.
+		srv.Close()
+		log.Fatalf("nxserve: %v", err)
+	case s := <-sig:
+		log.Printf("received %v, shutting down (grace %ds)", s, *graceSecs)
+	}
+
+	// Force exit on a second signal while draining.
+	go func() {
+		s := <-sig
+		log.Printf("received %v again, exiting immediately", s)
+		os.Exit(1)
+	}()
+
+	// Phase 1: stop accepting and drain in-flight HTTP requests.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*graceSecs)*time.Second)
 	defer cancel()
-	httpSrv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("nxserve: http drain: %v", err)
+	}
+	// Phase 2: cancel remaining jobs, drain scheduler workers, close
+	// graphs. Cancellation propagates into the engine at sub-shard-batch
+	// boundaries, so this returns promptly even mid-iteration.
+	srv.Close()
+	log.Print("nxserve: shutdown complete")
 }

@@ -1,0 +1,480 @@
+package dynamic
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
+)
+
+// Op is one logged structural change, expressed in the graph's original
+// index space (the raw-input ids, which stay stable across rebuilds).
+type Op struct {
+	// Remove deletes every copy of the edge (Src, Dst); false inserts
+	// one copy.
+	Remove   bool
+	Src, Dst uint64
+	// Weight is the inserted edge's weight (ignored for removals and by
+	// unweighted stores).
+	Weight float32
+}
+
+// DeltaLog accumulates structural changes against a base DSSS store as an
+// ordered operation log and serves them two ways:
+//
+//   - Overlay compiles the pending ops into an immutable engine.Overlay
+//     snapshot — per-cell sub-shards of inserted edges plus tombstones
+//     for removed base edges — so queries observe the mutated graph
+//     immediately, with no preprocessing;
+//   - Rebuild merges a checkpointed prefix of the log into a fresh store
+//     (background compaction), after which Advance rebases the remaining
+//     ops onto the new store.
+//
+// Semantics: ops apply in log order. A removal kills every base copy of
+// the pair and every insertion of the pair logged before it; insertions
+// logged after a removal survive, so remove-then-re-add behaves as
+// expected. Insertions that reference vertices the base store has never
+// seen are accepted but deferred — they are invisible to the overlay
+// (the engine's dense id space cannot address them) and materialize at
+// the next compaction.
+//
+// All methods are safe for concurrent use.
+type DeltaLog struct {
+	mu      sync.Mutex
+	base    *storage.Store
+	idmap   []uint64          // dense id -> original index
+	denseOf map[uint64]uint32 // original index -> dense id
+	baseOut []uint32
+	baseIn  []uint32
+	ops     []Op
+	// deferred counts insertion ops in ops whose endpoints the base id
+	// space cannot address, maintained incrementally so Deferred() (on
+	// the ingest ack path) never rescans the log.
+	deferred int
+
+	snap      *overlaySnapshot // compiled cache for the current ops
+	snapLen   int              // ops length the cache was compiled at
+	snapEmpty bool             // cache compiled to "no servable deltas"
+}
+
+// NewDeltaLog prepares an empty log over base.
+func NewDeltaLog(base *storage.Store) (*DeltaLog, error) {
+	idmap, err := base.IDMap()
+	if err != nil {
+		return nil, err
+	}
+	out, in, err := base.Degrees()
+	if err != nil {
+		return nil, err
+	}
+	denseOf := make(map[uint64]uint32, len(idmap))
+	for id, orig := range idmap {
+		denseOf[orig] = uint32(id)
+	}
+	return &DeltaLog{base: base, idmap: idmap, denseOf: denseOf, baseOut: out, baseIn: in}, nil
+}
+
+// Base returns the store the log is anchored to.
+func (l *DeltaLog) Base() *storage.Store { return l.base }
+
+// Append logs ops in order and returns the new pending count.
+func (l *DeltaLog) Append(ops ...Op) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(ops) > 0 {
+		l.ops = append(l.ops, ops...)
+		for _, op := range ops {
+			if l.isDeferred(op) {
+				l.deferred++
+			}
+		}
+		l.snap, l.snapEmpty = nil, false
+	}
+	return len(l.ops)
+}
+
+// isDeferred reports whether op is an insertion naming a vertex outside
+// the base id space. Caller holds l.mu.
+func (l *DeltaLog) isDeferred(op Op) bool {
+	if op.Remove {
+		return false
+	}
+	if _, ok := l.denseOf[op.Src]; !ok {
+		return true
+	}
+	_, ok := l.denseOf[op.Dst]
+	return !ok
+}
+
+// Add logs insertion of one copy of (src, dst) in original index space.
+func (l *DeltaLog) Add(src, dst uint64, w float32) int {
+	return l.Append(Op{Src: src, Dst: dst, Weight: w})
+}
+
+// Remove logs removal of every copy of (src, dst).
+func (l *DeltaLog) Remove(src, dst uint64) int {
+	return l.Append(Op{Remove: true, Src: src, Dst: dst})
+}
+
+// Pending returns the number of logged, uncompacted ops.
+func (l *DeltaLog) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Deferred returns how many pending insertions reference vertices outside
+// the base store's id space — accepted but invisible until compaction.
+func (l *DeltaLog) Deferred() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deferred
+}
+
+// pairKey packs a dense edge into a map key.
+func pairKey(src, dst uint32) uint64 { return uint64(src)<<32 | uint64(dst) }
+
+// Overlay compiles the pending ops into an engine-consumable snapshot.
+// It returns (nil, nil) when nothing servable is pending. The snapshot
+// is cached until the log changes, so repeated runs between ingests pay
+// the compile once. Compilation reads the base cells touched by
+// removals (to count the base copies a tombstone kills, for degree
+// accounting), which is why it can fail; that disk I/O — and the
+// O(NumVertices) degree-array copies — happen *outside* l.mu, so
+// concurrent ingest appends never stall behind a compile. (The compile
+// itself is from-scratch per delta state; the compaction threshold
+// bounds the op walk, but the degree copies scale with the graph —
+// incremental snapshot maintenance is the known future optimization.)
+func (l *DeltaLog) Overlay() (engine.Overlay, error) {
+	l.mu.Lock()
+	n := len(l.ops)
+	if n == 0 {
+		l.mu.Unlock()
+		return nil, nil
+	}
+	if l.snapLen == n {
+		if l.snapEmpty {
+			l.mu.Unlock()
+			return nil, nil
+		}
+		if l.snap != nil {
+			snap := l.snap
+			l.mu.Unlock()
+			return snap, nil
+		}
+	}
+	// Ops are append-only and existing elements never mutate, so a
+	// three-index slice of the current prefix is a stable snapshot to
+	// compile from without the lock.
+	ops := l.ops[:n:n]
+	l.mu.Unlock()
+
+	snap, err := l.compile(ops)
+	if err != nil {
+		return nil, err
+	}
+
+	l.mu.Lock()
+	if n > l.snapLen { // don't regress a cache a concurrent call built from more ops
+		l.snapLen = n
+		l.snap, l.snapEmpty = snap, snap == nil
+	}
+	l.mu.Unlock()
+	if snap == nil {
+		return nil, nil
+	}
+	return snap, nil
+}
+
+// CachedOverlay returns the compiled snapshot for the current ops if
+// one is already cached, without compiling (and so without touching the
+// base store). Informational callers — listings, stats — use this so a
+// metadata read never pays compile-time disk I/O.
+func (l *DeltaLog) CachedOverlay() engine.Overlay {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snap != nil && l.snapLen == len(l.ops) {
+		return l.snap
+	}
+	return nil
+}
+
+// denseAdd is one pending insertion mapped into dense id space.
+type denseAdd struct {
+	src, dst uint32
+	w        float32
+}
+
+// compile walks ops (a stable prefix of the log) and builds the overlay
+// snapshot. It touches only immutable DeltaLog state (denseOf, base
+// degrees, the base store) and so runs without l.mu.
+func (l *DeltaLog) compile(ops []Op) (*overlaySnapshot, error) {
+	// A removal kills every insertion of its pair logged before it, so
+	// an insertion survives iff no removal of its pair appears later in
+	// the log. Recording each pair's last removal position keeps the
+	// walk O(ops) instead of filtering the adds list per removal.
+	lastRemove := make(map[uint64]int)
+	tombs := make(map[uint64]struct{})
+	for idx, op := range ops {
+		if !op.Remove {
+			continue
+		}
+		s, sok := l.denseOf[op.Src]
+		d, dok := l.denseOf[op.Dst]
+		if !sok || !dok {
+			continue // pair cannot exist in the base id space
+		}
+		k := pairKey(s, d)
+		lastRemove[k] = idx
+		tombs[k] = struct{}{}
+	}
+	var adds []denseAdd
+	for idx, op := range ops {
+		if op.Remove {
+			continue
+		}
+		s, sok := l.denseOf[op.Src]
+		d, dok := l.denseOf[op.Dst]
+		if !sok || !dok {
+			continue // deferred until compaction
+		}
+		if ri, ok := lastRemove[pairKey(s, d)]; ok && ri > idx {
+			continue // cancelled by a later removal
+		}
+		adds = append(adds, denseAdd{s, d, op.Weight})
+	}
+	if len(adds) == 0 && len(tombs) == 0 {
+		return nil, nil
+	}
+
+	meta := l.base.Meta()
+	P := meta.P
+	snap := &overlaySnapshot{
+		p:        P,
+		cells:    make(map[int]*storage.SubShard),
+		tcells:   make(map[int]*storage.SubShard),
+		tombs:    tombs,
+		delCells: make(map[int]struct{}),
+		out:      append([]uint32(nil), l.baseOut...),
+		in:       append([]uint32(nil), l.baseIn...),
+	}
+	if meta.HasTranspose {
+		snap.tdelCells = make(map[int]struct{})
+	}
+
+	// Tombstones: locate each pair's forward cell, count the base copies
+	// it kills (degree and edge-count accounting), and mark the cell —
+	// in both replicas — as needing the per-edge skip check.
+	tombCells := make(map[int][]uint64)
+	for key := range tombs {
+		s, d := uint32(key>>32), uint32(key)
+		ci := meta.IntervalOf(s)*P + meta.IntervalOf(d)
+		tombCells[ci] = append(tombCells[ci], key)
+		snap.delCells[ci] = struct{}{}
+		if meta.HasTranspose {
+			snap.tdelCells[meta.IntervalOf(d)*P+meta.IntervalOf(s)] = struct{}{}
+		}
+	}
+	for ci := range tombCells {
+		i, j := ci/P, ci%P
+		if meta.SubShards[ci].Edges == 0 {
+			continue
+		}
+		ss, err := l.base.ReadSubShard(i, j, false)
+		if err != nil {
+			return nil, err
+		}
+		for k := range ss.Dsts {
+			d := ss.Dsts[k]
+			for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+				s := ss.Srcs[t]
+				if _, dead := tombs[pairKey(s, d)]; dead {
+					snap.out[s]--
+					snap.in[d]--
+					snap.deltaEdges--
+				}
+			}
+		}
+	}
+
+	// Insertions: group by cell and compile destination-sorted CSRs for
+	// the forward replica and, when present, the transposed one.
+	snap.deltaEdges += int64(len(adds))
+	type cellBuf struct {
+		srcs, dsts []uint32
+		ws         []float32
+	}
+	fw := make(map[int]*cellBuf)
+	var tp map[int]*cellBuf
+	if meta.HasTranspose {
+		tp = make(map[int]*cellBuf)
+	}
+	put := func(m map[int]*cellBuf, ci int, s, d uint32, w float32) {
+		b := m[ci]
+		if b == nil {
+			b = &cellBuf{}
+			m[ci] = b
+		}
+		b.srcs = append(b.srcs, s)
+		b.dsts = append(b.dsts, d)
+		if meta.Weighted {
+			b.ws = append(b.ws, w)
+		}
+	}
+	for _, a := range adds {
+		snap.out[a.src]++
+		snap.in[a.dst]++
+		put(fw, meta.IntervalOf(a.src)*P+meta.IntervalOf(a.dst), a.src, a.dst, a.w)
+		if tp != nil {
+			put(tp, meta.IntervalOf(a.dst)*P+meta.IntervalOf(a.src), a.dst, a.src, a.w)
+		}
+	}
+	for ci, b := range fw {
+		snap.cells[ci] = storage.NewSubShardFromEdges(b.srcs, b.dsts, b.ws)
+	}
+	for ci, b := range tp {
+		snap.tcells[ci] = storage.NewSubShardFromEdges(b.srcs, b.dsts, b.ws)
+	}
+	return snap, nil
+}
+
+// overlaySnapshot is the compiled, immutable form of a DeltaLog handed
+// to engine runs.
+type overlaySnapshot struct {
+	p                   int
+	cells, tcells       map[int]*storage.SubShard
+	tombs               map[uint64]struct{}
+	delCells, tdelCells map[int]struct{}
+	out, in             []uint32
+	deltaEdges          int64
+}
+
+func (s *overlaySnapshot) Cell(i, j int, transpose bool) *storage.SubShard {
+	if transpose {
+		return s.tcells[i*s.p+j]
+	}
+	return s.cells[i*s.p+j]
+}
+
+func (s *overlaySnapshot) CellHasDeletes(i, j int, transpose bool) bool {
+	m := s.delCells
+	if transpose {
+		m = s.tdelCells
+	}
+	_, ok := m[i*s.p+j]
+	return ok
+}
+
+func (s *overlaySnapshot) Deleted(src, dst uint32, transpose bool) bool {
+	if transpose {
+		src, dst = dst, src
+	}
+	_, ok := s.tombs[pairKey(src, dst)]
+	return ok
+}
+
+func (s *overlaySnapshot) Degrees() (out, in []uint32) { return s.out, s.in }
+
+func (s *overlaySnapshot) DeltaEdges() int64 { return s.deltaEdges }
+
+// Checkpoint marks the current end of the log for a compaction pass:
+// Rebuild folds ops[:mark] into a new store, ops logged afterwards stay
+// pending and ride along into Advance.
+func (l *DeltaLog) Checkpoint() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops)
+}
+
+// Rebuild merges the base store with the first mark logged ops and
+// writes a fresh DSSS store at dir on disk — the compaction step. The
+// base store stays untouched and readable throughout (the scan is
+// read-only), so queries keep being served from base+overlay while the
+// rebuild runs. ctx aborts the base scan between batches of edges.
+//
+// The merge applies exactly the overlay's semantics — removals kill all
+// base copies of a pair and earlier-logged insertions; later insertions
+// survive — and additionally materializes deferred insertions, whose
+// brand-new vertices receive dense ids in the rebuilt store.
+func (l *DeltaLog) Rebuild(ctx context.Context, mark int, disk *diskio.Disk, dir string, opt preprocess.Options) (*preprocess.Result, error) {
+	l.mu.Lock()
+	if mark < 0 || mark > len(l.ops) {
+		n := len(l.ops)
+		l.mu.Unlock()
+		return nil, fmt.Errorf("dynamic: checkpoint %d out of range (log has %d ops)", mark, n)
+	}
+	ops := append([]Op(nil), l.ops[:mark]...)
+	l.mu.Unlock()
+
+	// Same one-pass survival rule as compile: an insertion survives iff
+	// no removal of its pair is logged after it.
+	lastRemove := make(map[[2]uint64]int)
+	tombs := make(map[[2]uint64]struct{})
+	for idx, op := range ops {
+		if op.Remove {
+			p := [2]uint64{op.Src, op.Dst}
+			lastRemove[p] = idx
+			tombs[p] = struct{}{}
+		}
+	}
+	var pending []graph.IndexEdge
+	for idx, op := range ops {
+		if op.Remove {
+			continue
+		}
+		if ri, ok := lastRemove[[2]uint64{op.Src, op.Dst}]; ok && ri > idx {
+			continue
+		}
+		pending = append(pending, graph.IndexEdge{Src: op.Src, Dst: op.Dst, Weight: op.Weight})
+	}
+
+	meta := l.base.Meta()
+	merged := make([]graph.IndexEdge, 0, meta.NumEdges+int64(len(pending)))
+	var scanned int64
+	err := l.base.ForEachEdge(func(src, dst uint32, w float32) error {
+		if scanned++; scanned&0xffff == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := graph.IndexEdge{Src: l.idmap[src], Dst: l.idmap[dst], Weight: w}
+		if _, dead := tombs[[2]uint64{e.Src, e.Dst}]; dead {
+			return nil
+		}
+		merged = append(merged, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged = append(merged, pending...)
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("dynamic: compaction would produce an empty graph")
+	}
+	return preprocess.FromIndexEdges(disk, dir, merged, opt)
+}
+
+// Advance rebases the log onto newBase (the store a Rebuild produced):
+// ops up to mark are considered folded in, later ops carry over as
+// pending against the new store. The receiver is left unchanged and
+// should be discarded.
+func (l *DeltaLog) Advance(mark int, newBase *storage.Store) (*DeltaLog, error) {
+	nl, err := NewDeltaLog(newBase)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mark < 0 || mark > len(l.ops) {
+		return nil, fmt.Errorf("dynamic: checkpoint %d out of range (log has %d ops)", mark, len(l.ops))
+	}
+	// Go through Append so the carried ops are re-classified against the
+	// new store's id space (deferred vertices usually materialized).
+	nl.Append(l.ops[mark:]...)
+	return nl, nil
+}

@@ -1,0 +1,99 @@
+package dynamic_test
+
+import (
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/diskio"
+	"nxgraph/internal/dynamic"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
+)
+
+// benchStore builds an RMAT store for benchmarking (scale 12, ~4k
+// vertices) on a fresh temp disk.
+func benchStore(b *testing.B) *storage.Store {
+	b.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(12, 8, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	disk, err := diskio.New(b.TempDir(), diskio.Unthrottled)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := preprocess.FromEdgeList(disk, "store", g, preprocess.Options{Name: "bench", P: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { res.Store.Close() })
+	return res.Store
+}
+
+// BenchmarkDeltaOverlayPageRank measures PageRank served through a
+// delta overlay carrying 1024 pending edge insertions, against the
+// zero-overlay baseline of the same store (BenchmarkPageRankIteration*
+// in internal/engine). It is the serving-path cost of online ingestion.
+func BenchmarkDeltaOverlayPageRank(b *testing.B) {
+	st := benchStore(b)
+	log, err := dynamic.NewDeltaLog(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, err := st.IDMap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint64(len(ids))
+	ops := make([]dynamic.Op, 0, 1024)
+	for k := uint64(0); k < 1024; k++ {
+		ops = append(ops, dynamic.Op{Src: ids[(k*13)%n], Dst: ids[(k*31+7)%n], Weight: 1})
+	}
+	log.Append(ops...)
+	e, err := engine.New(st, engine.Config{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetOverlayProvider(func() (engine.Overlay, error) { return log.Overlay() })
+	if _, err := log.Overlay(); err != nil { // compile outside the loop
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var edges int64
+	for i := 0; i < b.N; i++ {
+		res, err := algorithms.PageRank(e, 0.85, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges += res.EdgesTraversed
+	}
+	b.ReportMetric(float64(edges)/1e6/b.Elapsed().Seconds(), "MTEPS")
+}
+
+// BenchmarkDeltaLogCompile measures overlay compilation alone: the cost
+// an ingest batch adds to the first query after it.
+func BenchmarkDeltaLogCompile(b *testing.B) {
+	st := benchStore(b)
+	ids, err := st.IDMap()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := uint64(len(ids))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		log, err := dynamic.NewDeltaLog(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := uint64(0); k < 4096; k++ {
+			log.Add(ids[(k*13)%n], ids[(k*31+7)%n], 1)
+		}
+		b.StartTimer()
+		if _, err := log.Overlay(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,14 +2,22 @@
 // extension the paper names as future work ("NXgraph will be extended to
 // support dynamic change on graph structure", §VI).
 //
-// The model is merge-rebuild: an Updater accumulates edge insertions and
-// removals against a base DSSS store, expressed in the graph's *original
-// index space* (the ids of the raw input, which stay stable across
-// rebuilds — dense ids do not, because the degreer recompacts). Rebuild
-// streams the base store's edges through the mutation set and
-// re-preprocesses into a fresh store. This preserves every DSSS invariant
-// by construction and costs one sharding pass, which the paper's own
-// preprocessing already budgets for.
+// Two models coexist:
+//
+//   - merge-rebuild (Updater): accumulate mutations, then stop-the-world
+//     re-preprocess into a fresh store — simple, batch-oriented;
+//   - delta-overlay (DeltaLog): an ordered op log whose pending entries
+//     compile into an engine.Overlay served *live* on top of the base
+//     store, with the same Rebuild pass demoted to a background
+//     compaction that a serving layer swaps in atomically.
+//
+// Both express mutations in the graph's *original index space* (the ids
+// of the raw input, which stay stable across rebuilds — dense ids do
+// not, because the degreer recompacts). Rebuild streams the base store's
+// edges through the mutation set and re-preprocesses into a fresh store.
+// This preserves every DSSS invariant by construction and costs one
+// sharding pass, which the paper's own preprocessing already budgets
+// for.
 package dynamic
 
 import (

@@ -128,6 +128,10 @@ type Engine struct {
 
 	outDeg []uint32 // forward out-degrees
 	inDeg  []uint32 // forward in-degrees (= reverse out-degrees)
+
+	// overlayProvider, when set, supplies each new run's delta-overlay
+	// snapshot (see SetOverlayProvider).
+	overlayProvider OverlayProvider
 }
 
 // New creates an engine over store.

@@ -22,14 +22,23 @@ func (v view) at(id uint32) float64 { return v.vals[id-v.base] }
 // result into acc. Distinct destination ranges are disjoint, so concurrent
 // calls with non-overlapping [k0,k1) need no synchronization — this is the
 // fine-grained parallelism of paper §III-D.
-func gatherCSR(p Program, deg []uint32, mask *bitset.Set, ss *storage.SubShard, src view, acc view, k0, k1 int) {
+//
+// del, when non-nil, is the delta-overlay tombstone predicate: base edges
+// it reports as removed are skipped, so a run serves the post-mutation
+// graph without rewriting the sub-shard on disk. Cells without pending
+// removals pass nil and pay nothing.
+func gatherCSR(p Program, deg []uint32, mask *bitset.Set, del func(src, dst uint32) bool, ss *storage.SubShard, src view, acc view, k0, k1 int) {
 	zero := p.Zero()
 	for k := k0; k < k1; k++ {
 		local := zero
+		d := ss.Dsts[k]
 		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
 		for t := lo; t < hi; t++ {
 			s := ss.Srcs[t]
 			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			if del != nil && del(s, d) {
 				continue
 			}
 			w := float32(1)
@@ -38,22 +47,28 @@ func gatherCSR(p Program, deg []uint32, mask *bitset.Set, ss *storage.SubShard, 
 			}
 			local = p.Sum(local, p.Gather(src.at(s), deg[s], w))
 		}
-		d := ss.Dsts[k]
 		acc.vals[d-acc.base] = p.Sum(acc.vals[d-acc.base], local)
 	}
 }
 
 // gatherToHub is gatherCSR writing per-destination partials into out[k]
-// (parallel to ss.Dsts) instead of a dense accumulator — the ToHub kernel.
-// out[k] must be pre-set to Zero by the caller when reused.
-func gatherToHub(p Program, deg []uint32, mask *bitset.Set, ss *storage.SubShard, src view, out []float64, k0, k1 int) {
+// (parallel to ss.Dsts) instead of a dense accumulator — the ToHub
+// kernel. Every k in [k0, k1) is assigned (not accumulated), so reused
+// out arrays need no zeroing. del is the same tombstone predicate as in
+// gatherCSR; a destination whose base edges are all tombstoned stores
+// Zero, which folds as a no-op.
+func gatherToHub(p Program, deg []uint32, mask *bitset.Set, del func(src, dst uint32) bool, ss *storage.SubShard, src view, out []float64, k0, k1 int) {
 	zero := p.Zero()
 	for k := k0; k < k1; k++ {
 		local := zero
+		d := ss.Dsts[k]
 		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
 		for t := lo; t < hi; t++ {
 			s := ss.Srcs[t]
 			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			if del != nil && del(s, d) {
 				continue
 			}
 			w := float32(1)

@@ -51,6 +51,15 @@ type Run struct {
 	rowCache  [2][][]*storage.SubShard
 	flatCache [2][][]*srcSortedEdges // Table IV ablation representation
 
+	// ov is the delta-overlay snapshot captured at NewRun (nil without
+	// pending deltas); ovOut/ovIn are its adjusted degree arrays, and
+	// ovHub holds in-memory per-cell partials for overlay edges whose
+	// destination interval is on disk (keyed i*P+j per traversal flag).
+	ov    Overlay
+	ovOut []uint32
+	ovIn  []uint32
+	ovHub [2]map[int][]float64
+
 	locks []sync.Mutex
 
 	iter     int
@@ -93,6 +102,9 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 		active:  make([]bool, m.P),
 		started: time.Now(),
 		startIO: e.store.Disk().Stats().Snapshot(),
+	}
+	if err := r.initOverlay(); err != nil {
+		return nil, err
 	}
 	if a, ok := p.(GlobalAggregator); ok {
 		r.agg = a
@@ -148,18 +160,32 @@ func (r *Run) dirsUsed() []int {
 	}
 }
 
-// degOf returns the source-degree array for a traversal flag.
+// degOf returns the source-degree array for a traversal flag,
+// overlay-adjusted when a delta snapshot is installed.
 func (r *Run) degOf(d int) []uint32 {
 	if d == 1 {
+		if r.ovIn != nil {
+			return r.ovIn
+		}
 		return r.e.inDeg
+	}
+	if r.ovOut != nil {
+		return r.ovOut
 	}
 	return r.e.outDeg
 }
 
-// primaryDeg is the degree array handed to the GlobalAggregator.
+// primaryDeg is the degree array handed to the GlobalAggregator,
+// overlay-adjusted when a delta snapshot is installed.
 func (r *Run) primaryDeg() []uint32 {
 	if r.dir == Reverse {
+		if r.ovIn != nil {
+			return r.ovIn
+		}
 		return r.e.inDeg
+	}
+	if r.ovOut != nil {
+		return r.ovOut
 	}
 	return r.e.outDeg
 }

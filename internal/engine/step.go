@@ -163,9 +163,11 @@ func (r *Run) subShardInfosFor(d int) []storage.SubShardInfo {
 
 // processRow executes row i of the sub-shard matrix with source attributes
 // src: destinations in resident intervals accumulate into r.next;
-// destinations in on-disk intervals are gathered into hubs (ToHub). All
-// work of one row is conflict-free — distinct destination ranges never
-// overlap across a row — so callback mode runs it lock-free.
+// destinations in on-disk intervals are gathered into hubs (ToHub).
+// Within one replica's row, distinct destination ranges never overlap, so
+// callback mode runs each group lock-free; groups that can collide on a
+// destination (forward vs transposed replica, base vs overlay) are
+// separated by barriers — see the scheduling comment below.
 func (r *Run) processRow(i int, src view, dirs []int) error {
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
@@ -173,15 +175,27 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 	if i < Q {
 		jmax = Q // SS[i][j>=Q] with resident source is handled by the column phase
 	}
-	var tasks []func()
+	// Tasks are scheduled in conflict-free groups. Hub-side tasks
+	// (j >= Q) write private per-cell value arrays and can run with
+	// anything. Resident-destination gathers (j < Q) fold into the
+	// shared r.next accumulator: within one replica's row the distinct
+	// destination ranges are disjoint (the §III-D invariant), but the
+	// forward and transposed replicas — and a cell's base sub-shard vs
+	// its overlay cell — can hit the same destination vertex, so each
+	// (replica, base|overlay) group gets its own barrier. Forward-only
+	// runs without deltas still execute exactly one parallelFor.
+	var free []func()           // hub-side: no shared accumulator
+	var resident [2][2][]func() // [traversal flag][0 = base, 1 = overlay]
 	for _, d := range dirs {
 		deg := r.degOf(d)
 		infos := r.subShardInfosFor(d)
 		for j := 0; j < jmax; j++ {
-			if infos[i*P+j].Edges == 0 {
+			base := infos[i*P+j].Edges > 0
+			ovc := r.ovCell(d, i, j)
+			if !base && ovc == nil {
 				continue
 			}
-			if r.e.cfg.Order == SrcSortedCoarse {
+			if r.e.cfg.Order == SrcSortedCoarse { // overlay rejected at NewRun
 				flat, err := r.loadFlat(d, i, j)
 				if err != nil {
 					return err
@@ -190,26 +204,62 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 				lock := &r.locks[j]
 				acc := view{r.next, 0}
 				p, dd := r.p, deg
-				tasks = append(tasks, func() {
+				free = append(free, func() { // interval lock serializes
 					lock.Lock()
 					gatherSrcSorted(p, dd, r.mask, flat, src, acc)
 					lock.Unlock()
 				})
 				continue
 			}
-			ss, err := r.loadRowSubShard(d, i, j)
-			if err != nil {
-				return err
-			}
-			r.edges += int64(ss.NumEdges())
+			del := r.cellDel(d, i, j)
 			if j < Q {
-				tasks = append(tasks, r.gatherTasks(ss, deg, src, view{r.next, 0}, j)...)
-			} else {
-				tasks = append(tasks, r.hubTasks(d, i, j, ss, deg, src)...)
+				if base {
+					ss, err := r.loadRowSubShard(d, i, j)
+					if err != nil {
+						return err
+					}
+					r.edges += int64(ss.NumEdges())
+					resident[d][0] = append(resident[d][0], r.gatherTasks(ss, deg, del, src, view{r.next, 0}, j)...)
+				}
+				if ovc != nil {
+					r.edges += int64(ovc.NumEdges())
+					resident[d][1] = append(resident[d][1], r.gatherTasks(ovc, deg, nil, src, view{r.next, 0}, j)...)
+				}
+				continue
+			}
+			if base {
+				ss, err := r.loadRowSubShard(d, i, j)
+				if err != nil {
+					return err
+				}
+				r.edges += int64(ss.NumEdges())
+				free = append(free, r.hubTasks(d, i, j, ss, deg, del, src)...)
+			}
+			if ovc != nil {
+				// Overlay contributions to an on-disk destination
+				// interval accumulate in memory (the hub file's regions
+				// are sized from the base meta); the column phase folds
+				// them alongside the disk hub.
+				r.edges += int64(ovc.NumEdges())
+				free = append(free, r.ovHubTasks(d, i, j, ovc, deg, src)...)
 			}
 		}
 	}
-	parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
+	first := true
+	for _, d := range dirs {
+		for _, g := range resident[d] {
+			if first {
+				g = append(g, free...) // fold free tasks into the first barrier
+				free = nil
+				first = false
+			}
+			if len(g) == 0 {
+				continue
+			}
+			parallelFor(r.threads, len(g), func(t int) { g[t]() })
+		}
+	}
+	parallelFor(r.threads, len(free), func(t int) { free[t]() }) // no resident groups ran
 	return r.takeErr()
 }
 
@@ -227,14 +277,16 @@ func (r *Run) loadFlat(d, i, j int) (*srcSortedEdges, error) {
 }
 
 // gatherTasks builds the fine-grained (callback) or interval-locked (lock)
-// tasks that fold sub-shard ss into a dense accumulator.
-func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, src, acc view, j int) []func() {
+// tasks that fold sub-shard ss into a dense accumulator. del is the
+// overlay tombstone predicate for base sub-shards (nil for overlay cells
+// and cells without pending removals).
+func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, del func(src, dst uint32) bool, src, acc view, j int) []func() {
 	p := r.p
 	if r.e.cfg.Sync == Lock {
 		lock := &r.locks[j]
 		return []func(){func() {
 			lock.Lock()
-			gatherCSR(p, deg, r.mask, ss, src, acc, 0, ss.NumDsts())
+			gatherCSR(p, deg, r.mask, del, ss, src, acc, 0, ss.NumDsts())
 			lock.Unlock()
 		}}
 	}
@@ -243,7 +295,7 @@ func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, src, acc view, j i
 	for c := 0; c < len(bounds)-1; c++ {
 		k0, k1 := bounds[c], bounds[c+1]
 		tasks = append(tasks, func() {
-			gatherCSR(p, deg, r.mask, ss, src, acc, k0, k1)
+			gatherCSR(p, deg, r.mask, del, ss, src, acc, k0, k1)
 		})
 	}
 	return tasks
@@ -252,7 +304,7 @@ func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, src, acc view, j i
 // hubTasks builds the ToHub tasks for sub-shard SS[i][j]: gather partials
 // into a value array and write hub H[i][j] once the last chunk completes
 // (the callback mechanism).
-func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, src view) []func() {
+func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, del func(src, dst uint32) bool, src view) []func() {
 	p := r.p
 	vals := make([]float64, ss.NumDsts())
 	write := func() {
@@ -262,7 +314,7 @@ func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, src view
 	}
 	if r.e.cfg.Sync == Lock {
 		return []func(){func() {
-			gatherToHub(p, deg, r.mask, ss, src, vals, 0, ss.NumDsts())
+			gatherToHub(p, deg, r.mask, del, ss, src, vals, 0, ss.NumDsts())
 			write()
 		}}
 	}
@@ -273,10 +325,31 @@ func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, src view
 	for c := 0; c < len(bounds)-1; c++ {
 		k0, k1 := bounds[c], bounds[c+1]
 		tasks = append(tasks, func() {
-			gatherToHub(p, deg, r.mask, ss, src, vals, k0, k1)
+			gatherToHub(p, deg, r.mask, del, ss, src, vals, k0, k1)
 			if pending.Add(-1) == 0 {
 				write()
 			}
+		})
+	}
+	return tasks
+}
+
+// ovHubTasks gathers overlay cell (i,j) into its in-memory partials
+// array — the overlay counterpart of hubTasks, with no disk write.
+func (r *Run) ovHubTasks(d, i, j int, cell *storage.SubShard, deg []uint32, src view) []func() {
+	p := r.p
+	vals := r.ovHubVals(d, i, j, cell)
+	if r.e.cfg.Sync == Lock {
+		return []func(){func() {
+			gatherToHub(p, deg, r.mask, nil, cell, src, vals, 0, cell.NumDsts())
+		}}
+	}
+	bounds := chunkRanges(cell.NumDsts(), r.chunk)
+	tasks := make([]func(), 0, len(bounds)-1)
+	for c := 0; c < len(bounds)-1; c++ {
+		k0, k1 := bounds[c], bounds[c+1]
+		tasks = append(tasks, func() {
+			gatherToHub(p, deg, r.mask, nil, cell, src, vals, k0, k1)
 		})
 	}
 	return tasks
@@ -289,12 +362,12 @@ func (r *Run) columnTouched(j int, dirs []int) bool {
 	for _, d := range dirs {
 		infos := r.subShardInfosFor(d)
 		for i := 0; i < Q; i++ {
-			if r.active[i] && infos[i*P+j].Edges > 0 {
+			if r.active[i] && r.cellHasEdges(d, i, j) {
 				return true
 			}
 		}
 		for i := Q; i < P; i++ {
-			if r.hubRowValid[d][i] && infos[i*P+j].Dsts > 0 {
+			if r.hubRowValid[d][i] && (infos[i*P+j].Dsts > 0 || r.ovCell(d, i, j) != nil) {
 				return true
 			}
 		}
@@ -319,30 +392,45 @@ func (r *Run) processColumn(j int, dirs []int, touched bool) (bool, error) {
 			deg := r.degOf(d)
 			infos := r.subShardInfosFor(d)
 			for i := 0; i < Q; i++ {
-				if !r.active[i] || infos[i*P+j].Edges == 0 {
+				if !r.active[i] {
 					continue
 				}
-				ss, err := r.e.store.ReadSubShard(i, j, d == 1)
-				if err != nil {
-					return false, err
+				if infos[i*P+j].Edges > 0 {
+					ss, err := r.e.store.ReadSubShard(i, j, d == 1)
+					if err != nil {
+						return false, err
+					}
+					r.edges += int64(ss.NumEdges())
+					tasks := r.gatherTasks(ss, deg, r.cellDel(d, i, j), view{r.curr, 0}, accV, j)
+					parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
 				}
-				r.edges += int64(ss.NumEdges())
-				tasks := r.gatherTasks(ss, deg, view{r.curr, 0}, accV, j)
-				parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
+				if ovc := r.ovCell(d, i, j); ovc != nil {
+					r.edges += int64(ovc.NumEdges())
+					tasks := r.gatherTasks(ovc, deg, nil, view{r.curr, 0}, accV, j)
+					parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
+				}
 			}
 			for i := Q; i < P; i++ {
-				if !r.hubRowValid[d][i] || infos[i*P+j].Dsts == 0 {
+				if !r.hubRowValid[d][i] {
 					continue
 				}
-				dsts, vals, err := r.hubs[d].Read(i, j)
-				if err != nil {
-					return false, err
+				if infos[i*P+j].Dsts > 0 {
+					dsts, vals, err := r.hubs[d].Read(i, j)
+					if err != nil {
+						return false, err
+					}
+					p := r.p
+					bounds := chunkRanges(len(dsts), r.chunk)
+					parallelFor(r.threads, len(bounds)-1, func(c int) {
+						foldHub(p, dsts, vals, accV, bounds[c], bounds[c+1])
+					})
 				}
-				p := r.p
-				bounds := chunkRanges(len(dsts), r.chunk)
-				parallelFor(r.threads, len(bounds)-1, func(c int) {
-					foldHub(p, dsts, vals, accV, bounds[c], bounds[c+1])
-				})
+				if ovc := r.ovCell(d, i, j); ovc != nil {
+					// Fold the in-memory overlay partials written by this
+					// iteration's row phase (hubRowValid guarantees the
+					// row ran, so the array is populated).
+					foldHub(r.p, ovc.Dsts, r.ovHub[d][i*P+j], accV, 0, ovc.NumDsts())
+				}
 			}
 			if err := r.takeErr(); err != nil {
 				return false, err
@@ -393,9 +481,8 @@ func (r *Run) applyResident(activeNext []bool) error {
 		touched := r.dense
 		if !touched {
 			for _, d := range dirs {
-				infos := r.subShardInfosFor(d)
 				for i := 0; i < P; i++ {
-					if r.active[i] && infos[i*P+j].Edges > 0 {
+					if r.active[i] && r.cellHasEdges(d, i, j) {
 						touched = true
 						break
 					}

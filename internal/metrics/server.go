@@ -37,6 +37,19 @@ type ServerStats struct {
 	GraphsOpen atomic.Int64
 	// EdgesTraversed accumulates engine edge traversals across all jobs.
 	EdgesTraversed atomic.Int64
+	// EdgesIngested counts edge insertions accepted into delta logs.
+	EdgesIngested atomic.Int64
+	// EdgesRemoved counts edge removals accepted into delta logs.
+	EdgesRemoved atomic.Int64
+	// DeltaPending is the total uncompacted delta ops across all graphs
+	// (gauge).
+	DeltaPending atomic.Int64
+	// CompactionsStarted counts background compactions begun.
+	CompactionsStarted atomic.Int64
+	// CompactionsCompleted counts compactions that swapped in a new store.
+	CompactionsCompleted atomic.Int64
+	// CompactionsFailed counts compactions that ended in error.
+	CompactionsFailed atomic.Int64
 }
 
 // promMetric describes one exported metric for WritePrometheus.
@@ -74,6 +87,18 @@ var serverMetrics = []promMetric{
 		func(s *ServerStats) int64 { return s.GraphsOpen.Load() }},
 	{"nxserve_edges_traversed_total", "Engine edge traversals across all jobs.", "counter",
 		func(s *ServerStats) int64 { return s.EdgesTraversed.Load() }},
+	{"nxserve_edges_ingested_total", "Edge insertions accepted into delta logs.", "counter",
+		func(s *ServerStats) int64 { return s.EdgesIngested.Load() }},
+	{"nxserve_edges_removed_total", "Edge removals accepted into delta logs.", "counter",
+		func(s *ServerStats) int64 { return s.EdgesRemoved.Load() }},
+	{"nxserve_delta_pending", "Uncompacted delta ops across all graphs.", "gauge",
+		func(s *ServerStats) int64 { return s.DeltaPending.Load() }},
+	{"nxserve_compactions_started_total", "Background compactions begun.", "counter",
+		func(s *ServerStats) int64 { return s.CompactionsStarted.Load() }},
+	{"nxserve_compactions_completed_total", "Compactions that swapped in a new store.", "counter",
+		func(s *ServerStats) int64 { return s.CompactionsCompleted.Load() }},
+	{"nxserve_compactions_failed_total", "Compactions that ended in error.", "counter",
+		func(s *ServerStats) int64 { return s.CompactionsFailed.Load() }},
 }
 
 // WritePrometheus renders every counter and gauge in Prometheus text

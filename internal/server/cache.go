@@ -80,16 +80,20 @@ func (c *resultCache) put(key string, res *Result) {
 }
 
 // invalidateGraph drops every entry belonging to graph (called when a
-// graph is closed or replaced, so stale results cannot outlive their
-// store).
+// graph is closed, mutated by ingestion, or replaced by compaction, so
+// stale results cannot outlive their store). Keys are either
+// "uid|algo..." (no pending deltas) or "uid@N|algo..." (delta-versioned
+// — see cacheKey); both spellings must be purged, or a post-compaction
+// pending count that climbs back to a previously seen N would alias a
+// pre-compaction entry.
 func (c *resultCache) invalidateGraph(graph string) {
-	prefix := graph + "|"
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		ent := el.Value.(*cacheEntry)
-		if len(ent.key) > len(prefix) && ent.key[:len(prefix)] == prefix {
+		if k := ent.key; len(k) > len(graph) && k[:len(graph)] == graph &&
+			(k[len(graph)] == '|' || k[len(graph)] == '@') {
 			c.ll.Remove(el)
 			delete(c.items, ent.key)
 			c.curBytes -= ent.bytes

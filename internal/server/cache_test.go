@@ -63,3 +63,20 @@ func TestCacheInvalidateGraph(t *testing.T) {
 		t.Fatal("unrelated graph entry dropped")
 	}
 }
+
+func TestCacheInvalidateGraphDeltaKeys(t *testing.T) {
+	c := newResultCache(1<<20, nil)
+	// Both key spellings must be purged: plain and delta-versioned (see
+	// cacheKey) — otherwise a post-compaction pending count that climbs
+	// back to a previously cached value would alias a stale result.
+	c.put("g#1|pagerank|d=0.85", mkResult(10))
+	c.put("g#1@3|pagerank|d=0.85", mkResult(10))
+	c.put("g#12@3|pagerank|d=0.85", mkResult(10)) // other uid, shared prefix
+	c.invalidateGraph("g#1")
+	if c.len() != 1 {
+		t.Fatalf("cache holds %d entries after invalidate, want 1", c.len())
+	}
+	if _, ok := c.get("g#12@3|pagerank|d=0.85"); !ok {
+		t.Fatal("entry of a different registration dropped")
+	}
+}

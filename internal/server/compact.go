@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	nxgraph "nxgraph"
+	"nxgraph/internal/preprocess"
+)
+
+// Store directory names under a graph's root dir. The served store
+// always lives at storeDirName; compaction builds into compactDirName
+// and swaps via compactPrevName, so a crash mid-swap leaves at most one
+// recoverable rename to undo by hand.
+const (
+	storeDirName    = "dsss"
+	compactDirName  = "dsss.compact"
+	compactPrevName = "dsss.prev"
+)
+
+// executeCompact drives a compaction job to a terminal state — the
+// jobCompact counterpart of execute.
+func (s *scheduler) executeCompact(j *Job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != Pending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.stats.JobsStarted.Add(1)
+	s.stats.RunningJobs.Add(1)
+	defer s.stats.RunningJobs.Add(-1)
+	s.stats.CompactionsStarted.Add(1)
+
+	res, err := s.runCompaction(ctx, j.entry)
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = Done
+		j.result = res
+		s.stats.JobsCompleted.Add(1)
+		s.stats.CompactionsCompleted.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.state = Cancelled
+		j.err = context.Canceled
+		s.stats.JobsCancelled.Add(1)
+	default:
+		j.state = Failed
+		j.err = err
+		s.stats.JobsFailed.Add(1)
+		s.stats.CompactionsFailed.Add(1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+	s.retire(j, res)
+}
+
+// runCompaction folds the entry's checkpointed delta prefix into a
+// rebuilt store and atomically swaps it in.
+//
+// Phases:
+//
+//  1. checkpoint — mark the log; ops ingested afterwards stay pending
+//     and survive the swap (Advance rebases them onto the new store);
+//  2. rebuild — stream base + deltas into a fresh store directory. The
+//     base store is only read, so queries (base + overlay) keep being
+//     served concurrently; the graph's run slot is never claimed;
+//  3. swap — under runMu (no engine run in flight): close the old
+//     graph, rotate directories (dsss → dsss.prev, dsss.compact →
+//     dsss), reopen, rebase the delta log, and purge the graph's
+//     result-cache entries before releasing the lock, so no stale
+//     result can be served or inserted after the swap.
+//
+// On any swap failure the directories are rolled back and the old store
+// reopened — the graph keeps serving base + overlay as if the
+// compaction had never run.
+func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, error) {
+	start := time.Now()
+	delta := e.deltaLog()
+	var mark int
+	if delta != nil {
+		mark = delta.Checkpoint()
+	}
+	if mark == 0 {
+		return &Result{
+			Algo:      "compact",
+			Stats:     map[string]float64{"compacted_ops": 0},
+			ElapsedMS: time.Since(start).Milliseconds(),
+		}, nil
+	}
+
+	g := e.live()
+	st := g.Engine().Store()
+	meta := st.Meta()
+	disk := st.Disk()
+	tmpAbs := disk.Path(compactDirName)
+	os.RemoveAll(tmpAbs)
+	res, err := delta.Rebuild(ctx, mark, disk, compactDirName, preprocess.Options{
+		Name:      meta.Name,
+		P:         meta.P,
+		Weighted:  meta.Weighted,
+		Transpose: meta.HasTranspose,
+	})
+	if err != nil {
+		os.RemoveAll(tmpAbs)
+		return nil, err
+	}
+	newVerts, newEdges := res.NumVertices, res.NumEdges
+	// The rebuilt store is reopened below at its final path; the engine
+	// opens attribute/hub files lazily by path, so serving from a store
+	// whose directory was renamed underneath it would misroute them.
+	res.Store.Close()
+	if err := ctx.Err(); err != nil {
+		os.RemoveAll(tmpAbs)
+		return nil, err
+	}
+
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed || e.draining.Load() {
+		os.RemoveAll(tmpAbs)
+		return nil, fmt.Errorf("server: graph %q closed during compaction", e.name)
+	}
+	cur := disk.Path(storeDirName)
+	prev := disk.Path(compactPrevName)
+	os.RemoveAll(prev)
+	e.live().Close()
+	if err := os.Rename(cur, prev); err != nil {
+		os.RemoveAll(tmpAbs)
+		return nil, errors.Join(err, e.reopenLocked())
+	}
+	if err := os.Rename(tmpAbs, cur); err != nil {
+		err = errors.Join(err, os.Rename(prev, cur))
+		os.RemoveAll(tmpAbs)
+		return nil, errors.Join(err, e.reopenLocked())
+	}
+	ng, err := nxgraph.Open(e.dir, e.opt)
+	if err == nil {
+		// Purge the graph's cache entries BEFORE installing the rebased
+		// log: submit's cache-hit path reads the delta count without
+		// runMu, so once the rebased log (with its reset pending count)
+		// is visible, a new submission could build a key that aliases a
+		// pre-compaction entry. Purging first closes that window —
+		// nothing can repopulate the old entries while we hold runMu
+		// (all cache puts happen under it), and if the swap still rolls
+		// back below, a cold cache is merely a wasted purge.
+		s.cache.invalidateGraph(e.uid)
+		e.deltaMu.Lock()
+		nd, aerr := delta.Advance(mark, ng.Engine().Store())
+		if aerr == nil {
+			e.delta = nd
+		}
+		e.deltaMu.Unlock()
+		if aerr != nil {
+			ng.Close()
+		}
+		err = aerr
+	}
+	if err != nil {
+		// Roll the directories back, resume serving the old store, and
+		// drop the orphaned rebuild — it is a full store-sized copy that
+		// would otherwise sit on disk until some later compaction.
+		err = errors.Join(err, os.Rename(cur, tmpAbs), os.Rename(prev, cur), e.reopenLocked())
+		os.RemoveAll(tmpAbs)
+		return nil, err
+	}
+	e.installOverlay(ng)
+	e.graph.Store(ng)
+	os.RemoveAll(prev)
+	s.stats.DeltaPending.Add(-int64(mark))
+
+	pendingAfter := 0
+	if d := e.deltaLog(); d != nil {
+		pendingAfter = d.Pending()
+	}
+	return &Result{
+		Algo: "compact",
+		Stats: map[string]float64{
+			"compacted_ops": float64(mark),
+			"num_vertices":  float64(newVerts),
+			"num_edges":     float64(newEdges),
+			"pending_after": float64(pendingAfter),
+		},
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// reopenLocked restores the entry's graph from its directory after a
+// failed swap. Caller holds runMu. If even the reopen fails the entry
+// is marked closed: jobs fail fast instead of touching a dead store.
+func (e *graphEntry) reopenLocked() error {
+	g, err := nxgraph.Open(e.dir, e.opt)
+	if err != nil {
+		e.closed = true
+		return fmt.Errorf("server: graph %q unrecoverable after failed compaction swap: %w", e.name, err)
+	}
+	e.installOverlay(g)
+	e.graph.Store(g)
+	return nil
+}

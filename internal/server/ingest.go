@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"nxgraph/internal/dynamic"
+)
+
+// edgeSpec is one edge in an ingestion batch, in the graph's original
+// index space (the ids of the raw input the store was built from —
+// stable across compactions).
+type edgeSpec struct {
+	Src uint64 `json:"src"`
+	Dst uint64 `json:"dst"`
+	// Weight applies to insertions on weighted stores; 0 defaults to 1.
+	Weight float32 `json:"weight,omitempty"`
+}
+
+// handleIngest is POST /v1/graphs/{name}/edges: append a batch of edge
+// insertions/removals to the graph's delta log. Removals apply before
+// insertions within one batch, so {"remove":[e],"add":[e]} re-adds the
+// edge. The 202 is a visibility guarantee, not a durability one: every
+// job submitted afterwards observes the deltas (engine runs snapshot
+// the log at execution start), but the log is in-memory — deltas not
+// yet folded in by a compaction are lost if the process exits.
+// Insertions referencing brand-new vertices are accepted but deferred
+// to the next compaction — the engine's dense id space cannot address
+// them.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "graph %q not open", r.PathValue("name"))
+		return
+	}
+	if e.draining.Load() {
+		writeErr(w, http.StatusConflict, "%v", errGraphClosing)
+		return
+	}
+	var req struct {
+		Add    []edgeSpec `json:"add"`
+		Remove []edgeSpec `json:"remove"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Add)+len(req.Remove) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch has no add or remove entries")
+		return
+	}
+	ops := make([]dynamic.Op, 0, len(req.Add)+len(req.Remove))
+	for _, re := range req.Remove {
+		ops = append(ops, dynamic.Op{Remove: true, Src: re.Src, Dst: re.Dst})
+	}
+	for _, ad := range req.Add {
+		wt := ad.Weight
+		if wt == 0 {
+			wt = 1
+		}
+		ops = append(ops, dynamic.Op{Src: ad.Src, Dst: ad.Dst, Weight: wt})
+	}
+	pending, deferred, err := e.appendDeltas(ops)
+	switch {
+	case errors.Is(err, errGraphClosing):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.stats.EdgesIngested.Add(int64(len(req.Add)))
+	s.stats.EdgesRemoved.Add(int64(len(req.Remove)))
+	// No cache purge here: the delta-versioned keys already make every
+	// pre-batch entry unreachable (the pending count only grows between
+	// compactions), and size-based LRU eviction reclaims the memory —
+	// walking the shared cache on the ingest hot path would serialize
+	// against every concurrent get/put for no correctness gain.
+
+	resp := map[string]any{
+		"graph":          e.name,
+		"added":          len(req.Add),
+		"removed":        len(req.Remove),
+		"pending_deltas": pending,
+	}
+	if deferred > 0 {
+		resp["deferred"] = deferred
+	}
+	if thr := s.deltaThreshold(); thr > 0 && pending >= thr {
+		if j, _, err := s.sched.submitCompact(e); err == nil {
+			resp["compaction_job"] = j.ID
+		}
+		// A full queue or shutdown just skips the trigger; the next
+		// ingest (or a manual POST .../compact) retries.
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleCompact is POST /v1/graphs/{name}/compact: schedule background
+// compaction of the graph's pending deltas. Idempotent — if a
+// compaction is already pending or running its job is returned with
+// 200 instead of queueing another.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "graph %q not open", r.PathValue("name"))
+		return
+	}
+	j, created, err := s.sched.submitCompact(e)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, errShutdown):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, errGraphClosing):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, j.Snapshot())
+}
+
+// deltaThreshold resolves the configured auto-compaction threshold.
+func (s *Server) deltaThreshold() int {
+	if s.cfg.DeltaThreshold < 0 {
+		return 0 // disabled
+	}
+	if s.cfg.DeltaThreshold == 0 {
+		return 8192
+	}
+	return s.cfg.DeltaThreshold
+}

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	nxgraph "nxgraph"
+	"nxgraph/internal/graph"
+)
+
+// buildTinyStoreDir writes a 5-vertex cycle-with-chord graph whose
+// original ids are the literal 0..4, so ingestion requests can address
+// vertices without consulting the remap table.
+func buildTinyStoreDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	g := &graph.EdgeList{NumVertices: 5}
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}} {
+		g.Edges = append(g.Edges, graph.Edge{Src: e[0], Dst: e[1], Weight: 1})
+	}
+	gr, err := nxgraph.Build(dir, g, nxgraph.Options{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Close()
+	return dir
+}
+
+func newIngestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := buildTinyStoreDir(t)
+	s := New(cfg)
+	if err := s.OpenGraph("g", dir, nxgraph.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// pagerankValues submits a pagerank job, waits for completion, and
+// returns (values, cacheHit).
+func pagerankValues(t *testing.T, ts *httptest.Server) ([]float64, bool) {
+	t.Helper()
+	id := submit(t, ts, "g", "pagerank", map[string]any{"iters": 15})
+	body := pollUntil(t, ts, id, terminal)
+	if body["state"] != "done" {
+		t.Fatalf("job ended %v (error %v)", body["state"], body["error"])
+	}
+	code, res := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d, body %v", code, res)
+	}
+	raw, _ := res["values"].([]any)
+	vals := make([]float64, len(raw))
+	for i, v := range raw {
+		vals[i], _ = v.(float64)
+	}
+	hit, _ := res["cache_hit"].(bool)
+	return vals, hit
+}
+
+// TestIngestServedLive is the end-to-end acceptance path: ingested
+// edges change PageRank results with no restart, compaction folds them
+// into the store, and post-compaction results match the overlay-served
+// ones within 1e-6.
+func TestIngestServedLive(t *testing.T) {
+	_, ts := newIngestServer(t, Config{Workers: 2})
+
+	before, _ := pagerankValues(t, ts)
+
+	// Funnel extra links into vertex 2; its rank must rise.
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"add": []map[string]any{
+			{"src": 0, "dst": 2}, {"src": 3, "dst": 2}, {"src": 4, "dst": 2},
+		},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d, body %v", code, body)
+	}
+	if got := body["pending_deltas"].(float64); got != 3 {
+		t.Fatalf("pending_deltas = %v, want 3", got)
+	}
+
+	overlay, hit := pagerankValues(t, ts)
+	if hit {
+		t.Fatal("post-ingest job served from the pre-ingest cache")
+	}
+	if len(overlay) != len(before) {
+		t.Fatalf("vertex count changed: %d vs %d", len(overlay), len(before))
+	}
+	if overlay[2] <= before[2] {
+		t.Fatalf("rank of vertex 2 did not rise: %g -> %g", before[2], overlay[2])
+	}
+
+	// Cache works within one delta state.
+	_, hit = pagerankValues(t, ts)
+	if !hit {
+		t.Fatal("identical re-submission missed the cache")
+	}
+
+	// Compact and compare: rebuilt-store results must match the overlay
+	// within 1e-6, served from a fresh engine run (cache invalidated).
+	code, snap := doJSON(t, "POST", ts.URL+"/v1/graphs/g/compact", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("compact: status %d, body %v", code, snap)
+	}
+	id, _ := snap["id"].(string)
+	end := pollUntil(t, ts, id, terminal)
+	if end["state"] != "done" {
+		t.Fatalf("compaction ended %v (error %v)", end["state"], end["error"])
+	}
+
+	code, info := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	if pd, _ := info["pending_deltas"].(float64); pd != 0 {
+		t.Fatalf("pending_deltas after compaction = %v, want 0", pd)
+	}
+	if ne, _ := info["num_edges"].(float64); ne != 9 {
+		t.Fatalf("num_edges after compaction = %v, want 9", ne)
+	}
+
+	after, hit := pagerankValues(t, ts)
+	if hit {
+		t.Fatal("post-compaction job served from the pre-compaction cache")
+	}
+	for v := range after {
+		if math.Abs(after[v]-overlay[v]) > 1e-6 {
+			t.Fatalf("vertex %d: compacted rank %g vs overlay rank %g", v, after[v], overlay[v])
+		}
+	}
+}
+
+// TestIngestRemoveThenReAdd drives the tombstone semantics over HTTP:
+// removals apply before insertions within a batch.
+func TestIngestRemoveThenReAdd(t *testing.T) {
+	_, ts := newIngestServer(t, Config{Workers: 1})
+	before, _ := pagerankValues(t, ts)
+
+	// Remove and re-add the chord in one batch: a no-op net change.
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"remove": []map[string]any{{"src": 1, "dst": 3}},
+		"add":    []map[string]any{{"src": 1, "dst": 3}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", code)
+	}
+	same, hit := pagerankValues(t, ts)
+	if hit {
+		t.Fatal("delta state changed but cache hit")
+	}
+	for v := range same {
+		if math.Abs(same[v]-before[v]) > 1e-9 {
+			t.Fatalf("vertex %d: %g vs %g after remove+re-add", v, same[v], before[v])
+		}
+	}
+
+	// Now a real removal: vertex 3 loses an in-edge, its rank drops.
+	code, _ = doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"remove": []map[string]any{{"src": 1, "dst": 3}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", code)
+	}
+	after, _ := pagerankValues(t, ts)
+	if after[3] >= before[3] {
+		t.Fatalf("rank of vertex 3 did not drop: %g -> %g", before[3], after[3])
+	}
+}
+
+// TestIngestNewVertexDeferred: edges naming unseen vertices are
+// deferred, then materialized by compaction.
+func TestIngestNewVertexDeferred(t *testing.T) {
+	_, ts := newIngestServer(t, Config{Workers: 1})
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"add": []map[string]any{{"src": 99, "dst": 0}, {"src": 0, "dst": 99}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", code)
+	}
+	if def, _ := body["deferred"].(float64); def != 2 {
+		t.Fatalf("deferred = %v, want 2", body["deferred"])
+	}
+	vals, _ := pagerankValues(t, ts)
+	if len(vals) != 5 {
+		t.Fatalf("overlay should not serve the new vertex yet: n = %d", len(vals))
+	}
+
+	code, snap := doJSON(t, "POST", ts.URL+"/v1/graphs/g/compact", nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("compact: status %d", code)
+	}
+	id, _ := snap["id"].(string)
+	end := pollUntil(t, ts, id, terminal)
+	if end["state"] != "done" {
+		t.Fatalf("compaction ended %v (error %v)", end["state"], end["error"])
+	}
+	vals, _ = pagerankValues(t, ts)
+	if len(vals) != 6 {
+		t.Fatalf("new vertex missing after compaction: n = %d", len(vals))
+	}
+}
+
+// TestIngestAutoCompaction: crossing the configured threshold schedules
+// a background compaction without a manual POST.
+func TestIngestAutoCompaction(t *testing.T) {
+	_, ts := newIngestServer(t, Config{Workers: 2, DeltaThreshold: 2})
+
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"add": []map[string]any{{"src": 0, "dst": 3}, {"src": 2, "dst": 0}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d", code)
+	}
+	id, _ := body["compaction_job"].(string)
+	if id == "" {
+		t.Fatalf("no compaction_job in %v", body)
+	}
+	end := pollUntil(t, ts, id, terminal)
+	if end["state"] != "done" {
+		t.Fatalf("auto compaction ended %v (error %v)", end["state"], end["error"])
+	}
+	code, info := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil)
+	if code != http.StatusOK || info["pending_deltas"] != nil {
+		t.Fatalf("pending deltas remain after auto compaction: %v", info["pending_deltas"])
+	}
+}
+
+// TestCompactIdempotent: a second POST while one compaction is live
+// returns the same job instead of queueing another.
+func TestCompactIdempotent(t *testing.T) {
+	s, ts := newIngestServer(t, Config{Workers: 1})
+
+	// Pin the single worker deterministically: hold the graph's run
+	// lock so the submitted job claims the worker, flips to running,
+	// and parks right before execution — the queued compaction then
+	// stays pending until we release it.
+	e, ok := s.reg.get("g")
+	if !ok {
+		t.Fatal("graph not registered")
+	}
+	e.runMu.Lock()
+	block := submit(t, ts, "g", "pagerank", map[string]any{"iters": 10})
+	pollUntil(t, ts, block, stateIs("running"))
+	doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges", map[string]any{
+		"add": []map[string]any{{"src": 0, "dst": 2}},
+	})
+	code1, snap1 := doJSON(t, "POST", ts.URL+"/v1/graphs/g/compact", nil)
+	code2, snap2 := doJSON(t, "POST", ts.URL+"/v1/graphs/g/compact", nil)
+	e.runMu.Unlock()
+	if code1 != http.StatusAccepted {
+		t.Fatalf("first compact: status %d", code1)
+	}
+	if code2 != http.StatusOK || snap1["id"] != snap2["id"] {
+		t.Fatalf("second compact: status %d, ids %v vs %v", code2, snap1["id"], snap2["id"])
+	}
+	pollUntil(t, ts, block, terminal)
+	pollUntil(t, ts, snap1["id"].(string), terminal)
+
+	// Metrics surface the counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"nxserve_edges_ingested_total 1",
+		"nxserve_compactions_started_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}

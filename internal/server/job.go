@@ -88,14 +88,23 @@ func (p Params) withDefaults(algo string) Params {
 	return p
 }
 
-// cacheKey canonicalizes (graph registration uid, algo, params) into the
-// LRU key. The uid — unique per open, not the reusable name — guarantees
-// a rebound name never hits a previous store's results. Only the fields
-// the algorithm actually consumes are included, so e.g. a stray Damping
-// on a BFS submission does not fragment the cache.
-func cacheKey(graphUID, algo string, p Params) string {
+// cacheKey canonicalizes (graph registration uid, delta state, algo,
+// params) into the LRU key. The uid — unique per open, not the reusable
+// name — guarantees a rebound name never hits a previous store's
+// results. delta is the count of ingestion ops acked when the key is
+// built: results computed against different delta states never alias,
+// so a job can never be answered from a cache entry missing edges that
+// were acknowledged before it was submitted. (The count is monotone per
+// log; compaction resets it but also purges the uid's entries under the
+// graph's run lock, so stale keys cannot survive the swap.) Only the
+// fields the algorithm actually consumes are included, so e.g. a stray
+// Damping on a BFS submission does not fragment the cache.
+func cacheKey(graphUID string, delta int, algo string, p Params) string {
 	var b strings.Builder
 	b.WriteString(graphUID)
+	if delta != 0 {
+		fmt.Fprintf(&b, "@%d", delta)
+	}
 	b.WriteByte('|')
 	b.WriteString(algo)
 	switch algo {
@@ -154,12 +163,29 @@ type JobProgress struct {
 	ActiveIntervals int   `json:"active_intervals,omitempty"`
 }
 
+// jobKind distinguishes algorithm executions from maintenance jobs.
+type jobKind int
+
+const (
+	// jobAlgo runs an algorithm over the graph (serialized per graph).
+	jobAlgo jobKind = iota
+	// jobCompact folds the graph's delta log into a rebuilt store. It
+	// does not claim the graph's run slot while rebuilding — the
+	// graph's queries keep executing — and takes runMu only for the
+	// final store swap. It does occupy a worker-pool slot for the
+	// rebuild's duration, so pool sizing must budget for background
+	// compactions alongside query load.
+	jobCompact
+)
+
 // Job is one asynchronous algorithm execution.
 type Job struct {
 	ID     string `json:"id"`
 	Graph  string `json:"graph"`
 	Algo   string `json:"algo"`
 	Params Params `json:"params"`
+
+	kind jobKind
 
 	mu        sync.Mutex
 	state     State

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/dynamic"
+	"nxgraph/internal/engine"
 	"nxgraph/internal/metrics"
 )
 
@@ -29,12 +31,31 @@ var errNotOpen = errors.New("graph not open")
 // uid is unique per registration — cache keys embed it rather than the
 // name, so a name rebound to a different store can never hit results
 // cached for the previous store, regardless of close/reopen timing.
+// The opened graph lives behind an atomic pointer because background
+// compaction swaps in a freshly rebuilt store while the entry keeps
+// serving: readers take a consistent *nxgraph.Graph via live(), and the
+// swap itself happens under runMu so it never races an engine run.
 type graphEntry struct {
 	name   string
 	uid    string
 	dir    string
-	graph  *nxgraph.Graph
+	graph  atomic.Pointer[nxgraph.Graph]
+	opt    nxgraph.Options
 	opened time.Time
+
+	// deltaMu guards delta and deltaClosed (the pointer and flag — the
+	// log itself is internally synchronized). The log is created lazily
+	// on the first ingest: read-only graphs never pay its id-map and
+	// degree-array footprint. Lock order where both are needed: runMu,
+	// then deltaMu.
+	deltaMu     sync.Mutex
+	delta       *dynamic.DeltaLog
+	deltaClosed bool
+	stats       *metrics.ServerStats
+
+	// compactMu guards compactJob, the entry's one live compaction.
+	compactMu  sync.Mutex
+	compactJob *Job
 
 	runMu  sync.Mutex
 	closed bool
@@ -58,6 +79,11 @@ type GraphInfo struct {
 	NumEdges    int64     `json:"num_edges"`
 	P           int       `json:"p"`
 	OpenedAt    time.Time `json:"opened_at"`
+	// PendingDeltas is the number of uncompacted ingestion ops; the
+	// served edge set is the store plus these.
+	PendingDeltas int `json:"pending_deltas,omitempty"`
+	// DeltaEdges is the net served edge-count delta of the overlay.
+	DeltaEdges int64 `json:"delta_edges,omitempty"`
 }
 
 // registry holds the set of opened graphs by name. Store directories
@@ -116,7 +142,9 @@ func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, err
 	if err != nil {
 		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
 	}
-	e := &graphEntry{name: name, dir: dir, graph: g, opened: time.Now()}
+	e := &graphEntry{name: name, dir: dir, opt: opt, opened: time.Now(), stats: r.stats}
+	e.installOverlay(g)
+	e.graph.Store(g)
 	r.mu.Lock()
 	if err := check(); err != nil {
 		r.mu.Unlock()
@@ -160,15 +188,109 @@ func (r *registry) list() []GraphInfo {
 	return out
 }
 
+// live returns the entry's currently served graph. The pointer is
+// stable for the caller's use, but long operations that must not span a
+// compaction swap (engine runs) additionally hold runMu.
+func (e *graphEntry) live() *nxgraph.Graph { return e.graph.Load() }
+
+// installOverlay binds g's engine to the entry's delta log, so every
+// run snapshots the deltas pending at its start.
+func (e *graphEntry) installOverlay(g *nxgraph.Graph) {
+	g.Engine().SetOverlayProvider(func() (engine.Overlay, error) {
+		e.deltaMu.Lock()
+		d := e.delta
+		e.deltaMu.Unlock()
+		if d == nil {
+			return nil, nil
+		}
+		return d.Overlay()
+	})
+}
+
+// deltaCount returns the number of delta ops acked so far — the value
+// folded into cache keys so results computed against different delta
+// states never alias (see cacheKey).
+func (e *graphEntry) deltaCount() int {
+	e.deltaMu.Lock()
+	d := e.delta
+	e.deltaMu.Unlock()
+	if d == nil {
+		return 0
+	}
+	return d.Pending()
+}
+
+// deltaLog returns the entry's live delta log (nil before the first
+// ingest).
+func (e *graphEntry) deltaLog() *dynamic.DeltaLog {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	return e.delta
+}
+
+// appendDeltas appends ops to the entry's current delta log (created
+// lazily here on the first ingest), holding deltaMu across the pointer
+// read and the append so a concurrent compaction swap (which replaces
+// the log via Advance) can never strand an acknowledged batch on the
+// discarded log. The pending gauge moves inside the same critical
+// section, and closeDeltas sets deltaClosed before its subtraction, so
+// an ingest racing a graph close either lands before the close (and is
+// counted into its subtraction) or is refused — the gauge cannot leak.
+// Returns the pending and deferred counts after the append.
+func (e *graphEntry) appendDeltas(ops []dynamic.Op) (pending, deferred int, err error) {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	if e.deltaClosed {
+		return 0, 0, errGraphClosing
+	}
+	if e.delta == nil {
+		d, err := dynamic.NewDeltaLog(e.live().Engine().Store())
+		if err != nil {
+			return 0, 0, fmt.Errorf("server: graph %q: delta log: %w", e.name, err)
+		}
+		e.delta = d
+	}
+	pending = e.delta.Append(ops...)
+	if e.stats != nil {
+		e.stats.DeltaPending.Add(int64(len(ops)))
+	}
+	return pending, e.delta.Deferred(), nil
+}
+
+// closeDeltas refuses further ingestion and returns the entry's pending
+// ops to the global gauge. Called on every close path.
+func (e *graphEntry) closeDeltas() {
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	if e.deltaClosed {
+		return
+	}
+	e.deltaClosed = true
+	if e.delta != nil && e.stats != nil {
+		e.stats.DeltaPending.Add(-int64(e.delta.Pending()))
+	}
+}
+
 func (e *graphEntry) info() GraphInfo {
-	return GraphInfo{
+	g := e.live()
+	info := GraphInfo{
 		Name:        e.name,
 		Dir:         e.dir,
-		NumVertices: e.graph.NumVertices(),
-		NumEdges:    e.graph.NumEdges(),
-		P:           e.graph.P(),
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		P:           g.P(),
 		OpenedAt:    e.opened,
 	}
+	if d := e.deltaLog(); d != nil {
+		info.PendingDeltas = d.Pending()
+		// Only report the net edge delta when a snapshot is already
+		// compiled — a metadata read must not trigger compilation (which
+		// reads base cells to count tombstoned copies).
+		if ov := d.CachedOverlay(); ov != nil {
+			info.DeltaEdges = ov.DeltaEdges()
+		}
+	}
+	return info
 }
 
 // closeEntry removes the given registration and closes its store. It
@@ -194,7 +316,8 @@ func (r *registry) closeEntry(e *graphEntry) error {
 	e.runMu.Lock()
 	e.closed = true
 	e.runMu.Unlock()
-	err := e.graph.Close()
+	e.closeDeltas()
+	err := e.live().Close()
 	r.mu.Lock()
 	delete(r.dirs, canonDir(e.dir))
 	r.mu.Unlock()
@@ -218,7 +341,8 @@ func (r *registry) closeAll() {
 		e.runMu.Lock()
 		e.closed = true
 		e.runMu.Unlock()
-		e.graph.Close()
+		e.closeDeltas()
+		e.live().Close()
 	}
 	r.mu.Lock()
 	r.dirs = make(map[string]string)

@@ -90,7 +90,7 @@ func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *r
 // completes the job immediately without queueing.
 func (s *scheduler) submit(entry *graphEntry, algo string, params Params) (*Job, error) {
 	params = params.withDefaults(algo)
-	if err := validateAlgo(algo, params, entry.graph); err != nil {
+	if err := validateAlgo(algo, params, entry.live()); err != nil {
 		return nil, err
 	}
 	if entry.draining.Load() {
@@ -109,7 +109,7 @@ func (s *scheduler) submit(entry *graphEntry, algo string, params Params) (*Job,
 	// the accept checks: rejections must not consume an id, because
 	// existed() relies on "every id at or below seq was registered" to
 	// tell pruned jobs (410) apart from never-created ones (404).
-	key := cacheKey(entry.uid, algo, params)
+	key := cacheKey(entry.uid, entry.deltaCount(), algo, params)
 	if res, ok := s.cache.get(key); ok {
 		j.state = Done
 		j.result = res
@@ -156,6 +156,51 @@ func (s *scheduler) submit(entry *graphEntry, algo string, params Params) (*Job,
 	// execute-time cache check registers as a hit, not a miss.
 	s.stats.JobsSubmitted.Add(1)
 	return j, nil
+}
+
+// submitCompact registers and enqueues a compaction job for entry. At
+// most one compaction per graph is live at a time: if one is already
+// pending or running, it is returned with created == false instead of
+// queueing a duplicate, making POST .../compact idempotent.
+func (s *scheduler) submitCompact(entry *graphEntry) (j *Job, created bool, err error) {
+	if entry.draining.Load() {
+		return nil, false, errGraphClosing
+	}
+	entry.compactMu.Lock()
+	defer entry.compactMu.Unlock()
+	if cur := entry.compactJob; cur != nil {
+		if st := cur.State(); st == Pending || st == Running {
+			return cur, false, nil
+		}
+	}
+	j = &Job{
+		Graph:     entry.name,
+		Algo:      "compact",
+		kind:      jobCompact,
+		state:     Pending,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		entry:     entry,
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, false, errShutdown
+	}
+	if len(s.pending) >= s.queueCap {
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("j-%08d", s.seq)
+	s.jobs[j.ID] = j
+	s.pending = append(s.pending, j)
+	s.stats.QueueDepth.Store(int64(len(s.pending)))
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.stats.JobsSubmitted.Add(1)
+	entry.compactJob = j
+	return j, true, nil
 }
 
 // terminalRef tracks one retained terminal job for pruning.
@@ -321,7 +366,11 @@ func (s *scheduler) worker() {
 		var j *Job
 		for {
 			for i, p := range s.pending {
-				if p.entry.busy.CompareAndSwap(false, true) {
+				// Compactions don't occupy the graph's run slot: the
+				// rebuild only reads the base store, so queries keep
+				// running while it proceeds (one live compaction per
+				// graph is enforced at submission).
+				if p.kind == jobCompact || p.entry.busy.CompareAndSwap(false, true) {
 					j = p
 					s.pending = append(s.pending[:i], s.pending[i+1:]...)
 					break
@@ -342,13 +391,19 @@ func (s *scheduler) worker() {
 	}
 }
 
-// execute runs one job to a terminal state. The caller (worker) holds
-// the entry's busy claim; it is released here, waking waiters that may
-// have skipped this graph's queued jobs. The release happens under s.mu
-// — a worker that saw busy=true does so while holding the lock, so the
-// release (and its broadcast) cannot slip between that observation and
-// the worker's cond.Wait (the classic lost-wakeup window).
+// execute runs one job to a terminal state. For algorithm jobs the
+// caller (worker) holds the entry's busy claim; it is released here,
+// waking waiters that may have skipped this graph's queued jobs. The
+// release happens under s.mu — a worker that saw busy=true does so
+// while holding the lock, so the release (and its broadcast) cannot
+// slip between that observation and the worker's cond.Wait (the classic
+// lost-wakeup window). Compaction jobs never claimed busy and dispatch
+// to their own path.
 func (s *scheduler) execute(j *Job) {
+	if j.kind == jobCompact {
+		s.executeCompact(j)
+		return
+	}
 	defer func() {
 		s.mu.Lock()
 		j.entry.busy.Store(false)
@@ -383,7 +438,10 @@ func (s *scheduler) execute(j *Job) {
 	var res *Result
 	var err error
 	cacheHit := false
-	key := cacheKey(j.entry.uid, j.Algo, j.Params)
+	// The key is rebuilt here with the delta count current at execution:
+	// the run's overlay snapshot includes at least these ops, so the
+	// inserted result can never be served to a job that acked more.
+	key := cacheKey(j.entry.uid, j.entry.deltaCount(), j.Algo, j.Params)
 	if j.entry.closed || j.entry.draining.Load() {
 		// draining catches a job that raced past both submit's check
 		// and the close sweep — it must not start a run the close
@@ -396,7 +454,7 @@ func (s *scheduler) execute(j *Job) {
 		s.stats.CacheHits.Add(1)
 	} else {
 		s.stats.CacheMisses.Add(1)
-		res, err = algos[j.Algo](ctx, j.entry.graph, j.Params, j.setProgress)
+		res, err = algos[j.Algo](ctx, j.entry.live(), j.Params, j.setProgress)
 		if err == nil {
 			s.cache.put(key, res)
 		}

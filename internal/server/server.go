@@ -28,6 +28,11 @@ type Config struct {
 	// RetainBytes additionally bounds the result bytes pinned by
 	// retained terminal jobs (default 256 MiB).
 	RetainBytes int64
+	// DeltaThreshold is the pending-delta count that triggers automatic
+	// background compaction of a graph's delta log (default 8192;
+	// negative disables auto-compaction — manual POST .../compact still
+	// works).
+	DeltaThreshold int
 	// GraphOptions is applied when opening graphs via the API.
 	GraphOptions nxgraph.Options
 }
@@ -40,6 +45,8 @@ type Config struct {
 //	GET    /v1/graphs/{name}          graph info
 //	DELETE /v1/graphs/{name}          close a graph (cancels its jobs)
 //	POST   /v1/graphs/{name}/jobs     submit {"algo": ..., "params": {...}}
+//	POST   /v1/graphs/{name}/edges    ingest edges {"add": [...], "remove": [...]}
+//	POST   /v1/graphs/{name}/compact  fold pending deltas into a rebuilt store
 //	GET    /v1/jobs                   list jobs, newest first
 //	GET    /v1/jobs/{id}              job status + progress
 //	GET    /v1/jobs/{id}/result       result; ?top=K for the K extreme vertices
@@ -100,6 +107,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
 	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleCloseGraph)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)

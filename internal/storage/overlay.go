@@ -1,0 +1,51 @@
+package storage
+
+import "sort"
+
+// NewSubShardFromEdges builds an in-memory destination-sorted sub-shard
+// from parallel edge arrays (dense-id space). The input need not be
+// ordered; edges are sorted by destination and then source, matching the
+// canonical DSSS sub-shard order, so the result can flow through every
+// gather kernel exactly like a decoded on-disk sub-shard. weights may be
+// nil for an unweighted edge set. Parallel edges are preserved.
+//
+// This is the building block of the delta-overlay path (online edge
+// ingestion): pending insertions are compiled into per-cell sub-shards
+// the engine gathers alongside the base store's.
+func NewSubShardFromEdges(srcs, dsts []uint32, weights []float32) *SubShard {
+	n := len(srcs)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := order[a], order[b]
+		if dsts[oa] != dsts[ob] {
+			return dsts[oa] < dsts[ob]
+		}
+		return srcs[oa] < srcs[ob]
+	})
+	ss := &SubShard{
+		Srcs:    make([]uint32, n),
+		Offsets: []uint32{0},
+	}
+	if weights != nil {
+		ss.Weights = make([]float32, n)
+	}
+	for i, o := range order {
+		d := dsts[o]
+		if len(ss.Dsts) == 0 || ss.Dsts[len(ss.Dsts)-1] != d {
+			ss.Dsts = append(ss.Dsts, d)
+			ss.Offsets = append(ss.Offsets, uint32(i))
+		}
+		ss.Offsets[len(ss.Offsets)-1] = uint32(i + 1)
+		ss.Srcs[i] = srcs[o]
+		if weights != nil {
+			ss.Weights[i] = weights[o]
+		}
+	}
+	return ss
+}

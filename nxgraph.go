@@ -25,7 +25,10 @@
 // Progress to an optional callback. These power the serving layer in
 // internal/server: a long-running HTTP service (cmd/nxserve) with a graph
 // registry, an asynchronous job scheduler with a bounded worker pool, and
-// an LRU result cache.
+// an LRU result cache. The serving layer also supports online structural
+// updates: internal/dynamic's DeltaLog overlays pending edge
+// insertions/removals on the engine at query time (engine.Overlay), with
+// background compaction folding them into a rebuilt store.
 //
 // The cmd/ directory provides the same functionality as CLI tools
 // (nxgen, nxpre, nxrun, nxbench, nxserve); examples/ contains runnable
