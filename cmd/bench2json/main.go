@@ -8,13 +8,22 @@
 // stay separate entries so downstream tooling can compute its own
 // dispersion — and the goos/goarch/cpu/pkg context lines are attached to
 // the entries they precede.
+//
+// With -diff it instead compares two documents and warns (GitHub
+// workflow-command format, never a failing exit) on time regressions
+// beyond -warn-pct:
+//
+//	bench2json -diff BENCH_seed.json BENCH_ci.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -82,7 +91,136 @@ func convert(lines []string) Doc {
 	return doc
 }
 
+// stripProcSuffix drops the trailing "-<GOMAXPROCS>" that go test
+// appends to benchmark names on multi-CPU machines, so documents
+// produced on machines with different CPU counts still compare.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// bestNsPerOp reduces a document to benchmark key -> fastest ns/op
+// across repeated -count entries (min is the standard noise-robust
+// reduction: a benchmark cannot run faster than the code allows, only
+// slower). Keys are proc-suffix-normalized.
+func bestNsPerOp(doc Doc) map[string]float64 {
+	best := map[string]float64{}
+	for _, e := range doc.Benchmarks {
+		ns, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		key := e.Pkg + "." + stripProcSuffix(e.Name)
+		if cur, seen := best[key]; !seen || ns < cur {
+			best[key] = ns
+		}
+	}
+	return best
+}
+
+// diffLine describes one compared benchmark.
+type diffLine struct {
+	key      string
+	old, new float64
+	pct      float64 // (new/old - 1) * 100
+}
+
+// diffDocs compares the fastest ns/op of every benchmark present in
+// both documents, sorted by key.
+func diffDocs(oldDoc, newDoc Doc) []diffLine {
+	oldBest, newBest := bestNsPerOp(oldDoc), bestNsPerOp(newDoc)
+	var out []diffLine
+	for key, nv := range newBest {
+		ov, ok := oldBest[key]
+		if !ok || ov <= 0 {
+			continue
+		}
+		out = append(out, diffLine{key: key, old: ov, new: nv, pct: (nv/ov - 1) * 100})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runDiff compares base against latest, printing one line per shared
+// benchmark and a ::warning:: annotation per regression beyond warnPct.
+// Regressions warn but never fail the build: CI runner performance is
+// too noisy for a hard gate, and the trajectory is archived anyway.
+func runDiff(w io.Writer, basePath, newPath string, warnPct float64) error {
+	oldDoc, err := loadDoc(basePath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	lines := diffDocs(oldDoc, newDoc)
+	if len(lines) == 0 {
+		return fmt.Errorf("no benchmarks shared between %s and %s", basePath, newPath)
+	}
+	// A seed benchmark absent from the new run means the guard lost
+	// coverage (renamed benchmark, stale -bench regex) — exactly the
+	// case most likely to hide a regression, so it warns too.
+	newBest := bestNsPerOp(newDoc)
+	var missing []string
+	for key := range bestNsPerOp(oldDoc) {
+		if _, ok := newBest[key]; !ok {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		fmt.Fprintf(w, "::warning::bench coverage lost: %s is in the seed but missing from the current run\n", key)
+	}
+	regressions := 0
+	for _, d := range lines {
+		fmt.Fprintf(w, "%-70s %12.0f -> %12.0f ns/op  %+6.1f%%\n", d.key, d.old, d.new, d.pct)
+		if d.pct > warnPct {
+			regressions++
+			fmt.Fprintf(w, "::warning::bench regression: %s is %.1f%% slower than the seed (%.0f -> %.0f ns/op)\n",
+				d.key, d.pct, d.old, d.new)
+		}
+	}
+	fmt.Fprintf(w, "%d benchmarks compared, %d regressed beyond %.0f%%, %d missing from current run\n",
+		len(lines), regressions, warnPct, len(missing))
+	return nil
+}
+
 func main() {
+	diff := flag.Bool("diff", false, "compare two bench JSON docs: bench2json -diff BASE.json NEW.json")
+	warnPct := flag.Float64("warn-pct", 25, "regression percentage that triggers a warning in -diff mode")
+	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2json -diff [-warn-pct N] BASE.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *warnPct); err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var lines []string

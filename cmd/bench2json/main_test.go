@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -62,4 +69,131 @@ func splitLines(s string) []string {
 		out = append(out, s[start:])
 	}
 	return out
+}
+
+func entry(pkg, name string, ns float64) Entry {
+	return Entry{Pkg: pkg, Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestBestNsPerOpTakesMin(t *testing.T) {
+	doc := Doc{Benchmarks: []Entry{
+		entry("p", "BenchmarkA", 300),
+		entry("p", "BenchmarkA", 200),
+		entry("p", "BenchmarkA", 250),
+		{Pkg: "p", Name: "BenchmarkNoNs", Metrics: map[string]float64{"MTEPS": 5}},
+	}}
+	best := bestNsPerOp(doc)
+	if len(best) != 1 || best["p.BenchmarkA"] != 200 {
+		t.Fatalf("best = %v", best)
+	}
+}
+
+func TestDiffDocs(t *testing.T) {
+	oldDoc := Doc{Benchmarks: []Entry{
+		entry("p", "BenchmarkA", 100),
+		entry("p", "BenchmarkB", 100),
+		entry("p", "BenchmarkGone", 100),
+	}}
+	newDoc := Doc{Benchmarks: []Entry{
+		entry("p", "BenchmarkA", 140), // +40% regression
+		entry("p", "BenchmarkB", 80),  // improvement
+		entry("p", "BenchmarkNew", 50),
+	}}
+	lines := diffDocs(oldDoc, newDoc)
+	if len(lines) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2 (shared only): %+v", len(lines), lines)
+	}
+	if lines[0].key != "p.BenchmarkA" || lines[0].pct < 39.9 || lines[0].pct > 40.1 {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[1].key != "p.BenchmarkB" || lines[1].pct > -19.9 {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+}
+
+func TestRunDiffWarnsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Doc) string {
+		raw, _ := json.Marshal(doc)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", Doc{Benchmarks: []Entry{entry("p", "BenchmarkA", 100), entry("p", "BenchmarkB", 100)}})
+	cur := write("cur.json", Doc{Benchmarks: []Entry{entry("p", "BenchmarkA", 200), entry("p", "BenchmarkB", 101)}})
+	var buf strings.Builder
+	if err := runDiff(&buf, base, cur, 25); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "::warning::bench regression: p.BenchmarkA") {
+		t.Fatalf("missing regression warning:\n%s", out)
+	}
+	if strings.Contains(out, "::warning::bench regression: p.BenchmarkB") {
+		t.Fatalf("within-threshold benchmark warned:\n%s", out)
+	}
+	if !strings.Contains(out, "2 benchmarks compared, 1 regressed beyond 25%") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	// No shared benchmarks is an error (a broken seed must not pass
+	// silently).
+	empty := write("empty.json", Doc{})
+	if err := runDiff(io.Discard, base, empty, 25); err == nil {
+		t.Fatal("empty diff did not error")
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEncodeSubShard":    "BenchmarkEncodeSubShard",
+		"BenchmarkEncodeSubShard-4":  "BenchmarkEncodeSubShard",
+		"BenchmarkEncodeSubShard-16": "BenchmarkEncodeSubShard",
+		"BenchmarkFoo/sub-case":      "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/sub-case-8":    "BenchmarkFoo/sub-case",
+		"BenchmarkTrailingDash-":     "BenchmarkTrailingDash-",
+		"-4":                         "-4",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDiffAcrossCPUCounts: a seed generated on a 1-CPU machine
+// (suffix-free names) must still compare against output from a
+// multi-CPU runner (GOMAXPROCS-suffixed names).
+func TestDiffAcrossCPUCounts(t *testing.T) {
+	oldDoc := Doc{Benchmarks: []Entry{entry("p", "BenchmarkA", 100)}}
+	newDoc := Doc{Benchmarks: []Entry{entry("p", "BenchmarkA-4", 110)}}
+	lines := diffDocs(oldDoc, newDoc)
+	if len(lines) != 1 || lines[0].key != "p.BenchmarkA" {
+		t.Fatalf("suffixed and suffix-free names did not match: %+v", lines)
+	}
+}
+
+func TestRunDiffWarnsOnLostCoverage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc Doc) string {
+		raw, _ := json.Marshal(doc)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", Doc{Benchmarks: []Entry{entry("p", "BenchmarkA", 100), entry("p", "BenchmarkGone", 100)}})
+	cur := write("cur.json", Doc{Benchmarks: []Entry{entry("p", "BenchmarkA", 100)}})
+	var buf strings.Builder
+	if err := runDiff(&buf, base, cur, 25); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "::warning::bench coverage lost: p.BenchmarkGone") {
+		t.Fatalf("missing coverage warning:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "1 missing from current run") {
+		t.Fatalf("missing summary count:\n%s", buf.String())
+	}
 }

@@ -26,6 +26,7 @@ func main() {
 		threads    = flag.Int("threads", 4, "worker threads")
 		iters      = flag.Int("iters", 10, "PageRank iterations")
 		seed       = flag.Int64("seed", 42, "generator seed")
+		cacheMB    = flag.Int("cache-mb", -1, "sub-shard block cache budget in MiB per engine (-1 = derive from each experiment's budget, 0 = disable)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 	)
 	flag.Parse()
@@ -35,6 +36,12 @@ func main() {
 	s.Threads = *threads
 	s.PageRankIters = *iters
 	s.Seed = *seed
+	switch {
+	case *cacheMB > 0:
+		s.CacheBytes = int64(*cacheMB) << 20
+	case *cacheMB == 0:
+		s.CacheBytes = -1 // disable
+	}
 	if !*quiet {
 		s.Log = os.Stderr
 	}
@@ -88,5 +95,8 @@ func main() {
 	}
 	if sel("table6") {
 		show(s.Table6())
+	}
+	if sum := s.CacheSummary(); sum != "" {
+		fmt.Println(sum)
 	}
 }

@@ -27,6 +27,7 @@ func main() {
 		root     = flag.Uint64("root", 0, "root vertex (bfs, sssp), dense id")
 		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		mem      = flag.String("mem", "0", "memory budget (e.g. 512MiB; 0 = unlimited)")
+		cacheMB  = flag.Int("cache-mb", -1, "sub-shard block cache budget in MiB (-1 = derive from -mem, 0 = disable)")
 		strategy = flag.String("strategy", "auto", "auto | spu | dpu | mpu")
 		lockSync = flag.Bool("lock", false, "use interval-lock sync instead of callback")
 		profile  = flag.String("disk", "none", "simulated disk: none | ssd | hdd")
@@ -43,6 +44,12 @@ func main() {
 		os.Exit(2)
 	}
 	opt := nxgraph.Options{Threads: *threads, MemoryBudget: budget, LockSync: *lockSync}
+	switch {
+	case *cacheMB > 0:
+		opt.CacheBytes = int64(*cacheMB) << 20
+	case *cacheMB == 0:
+		opt.CacheBytes = -1 // disable
+	}
 	switch *strategy {
 	case "auto":
 		opt.Strategy = nxgraph.Auto
@@ -79,6 +86,9 @@ func main() {
 		fmt.Printf("%s: %d iterations in %s (%.1f MTEPS), strategy=%s, io: read %d B, written %d B\n",
 			*algo, res.Iterations, res.Elapsed.Round(1e6), res.MTEPS(), res.Strategy,
 			res.IO.BytesRead, res.IO.BytesWritten)
+		if sum := g.CacheStats().Summary(); sum != "" {
+			fmt.Printf("%s, %s resident\n", sum, metrics.Bytes(g.CacheStats().ResidentBytes))
+		}
 	}
 	printTop := func(vals []float64, label string) {
 		type kv struct {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	nxserve -listen :8080 -graph social=/data/social -graph web=/data/web
-//	nxserve -listen :8080 -workers 4 -cache 512MiB -delta-threshold 16384
+//	nxserve -listen :8080 -workers 4 -cache 512MiB -cache-mb 1024 -delta-threshold 16384
 //
 // Graphs can also be opened — and mutated — at runtime:
 //
@@ -64,6 +64,7 @@ func main() {
 		workers   = flag.Int("workers", 2, "concurrent engine executions")
 		queueCap  = flag.Int("queue", 64, "pending-job queue capacity")
 		cache     = flag.String("cache", "256MiB", "result cache budget (0 disables caching)")
+		cacheMB   = flag.Int("cache-mb", 256, "shared decoded sub-shard block cache budget in MiB, 0 disables (distinct from -cache, the result cache)")
 		mem       = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
 		threads   = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
 		deltaThr  = flag.Int("delta-threshold", 0, "pending deltas that trigger auto-compaction (0 = default 8192, negative disables)")
@@ -86,12 +87,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	blockBytes := int64(-1) // <= 0 on the flag disables the block cache
+	if *cacheMB > 0 {
+		blockBytes = int64(*cacheMB) << 20
+	}
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueCap:       *queueCap,
-		CacheBytes:     cacheBytes,
-		DeltaThreshold: *deltaThr,
-		GraphOptions:   nxgraph.Options{Threads: *threads, MemoryBudget: budget},
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		CacheBytes:      cacheBytes,
+		BlockCacheBytes: blockBytes,
+		DeltaThreshold:  *deltaThr,
+		GraphOptions:    nxgraph.Options{Threads: *threads, MemoryBudget: budget},
 	})
 	for _, g := range graphs {
 		if err := srv.OpenGraph(g.name, g.dir, nxgraph.Options{Threads: *threads, MemoryBudget: budget}); err != nil {

@@ -17,6 +17,7 @@ import (
 
 	"nxgraph/internal/algorithms"
 	"nxgraph/internal/baseline"
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/diskio"
 	"nxgraph/internal/engine"
 	"nxgraph/internal/gen"
@@ -42,11 +43,19 @@ type Suite struct {
 	// PageRankIters is the iteration count for PageRank experiments
 	// (the paper uses 10).
 	PageRankIters int
+	// CacheBytes overrides every engine's sub-shard block cache budget:
+	// 0 keeps the per-engine derivation from the experiment's memory
+	// budget (so budgeted experiments still measure streaming I/O),
+	// positive sets the budget in bytes, negative disables caching.
+	CacheBytes int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 
 	graphs map[string]*graph.EdgeList
 	nstore int
+	// cacheTotals accumulates the final block-cache counters of every
+	// engine the suite created (read when the engine's store closes).
+	cacheTotals blockcache.Stats
 }
 
 // NewSuite returns a Suite with the paper's defaults at reduced scale.
@@ -110,7 +119,9 @@ func (s *Suite) buildStore(g *graph.EdgeList, p int, transpose bool, prof diskio
 	return storage.Open(run, dir)
 }
 
-// nxEngine builds an engine over a fresh store of g.
+// nxEngine builds an engine over a fresh store of g. The returned
+// cleanup folds the engine's block-cache counters into the suite totals
+// before closing the store.
 func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Config, prof diskio.Profile) (*engine.Engine, func(), error) {
 	st, err := s.buildStore(g, p, transpose, prof)
 	if err != nil {
@@ -119,13 +130,26 @@ func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Co
 	if cfg.Threads == 0 {
 		cfg.Threads = s.Threads
 	}
+	if s.CacheBytes != 0 {
+		cfg.CacheBytes = s.CacheBytes
+	}
 	e, err := engine.New(st, cfg)
 	if err != nil {
 		st.Close()
 		return nil, nil, err
 	}
-	return e, func() { st.Close() }, nil
+	return e, func() {
+		cs := e.CacheStats()
+		s.cacheTotals.Hits += cs.Hits
+		s.cacheTotals.Misses += cs.Misses
+		s.cacheTotals.Evictions += cs.Evictions
+		st.Close()
+	}, nil
 }
+
+// CacheSummary reports the block-cache traffic aggregated over every
+// engine the suite ran, or "" before any engine closed.
+func (s *Suite) CacheSummary() string { return s.cacheTotals.Summary() }
 
 // realGraphs lists the paper's three real-world datasets (stand-ins).
 var realGraphs = []string{"livejournal", "twitter", "yahoo"}

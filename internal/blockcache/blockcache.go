@@ -1,0 +1,306 @@
+// Package blockcache provides a process-wide, reference-counted,
+// memory-budgeted cache of decoded sub-shard blocks, shared by every
+// engine run on a store.
+//
+// NXgraph's performance argument is about minimizing and streaming
+// sub-shard I/O; the serving layer's is about answering many queries on
+// the same graph. Before this cache, every engine run privately re-read
+// and re-decoded the sub-shards it needed, so concurrent jobs on one
+// graph each held a duplicate copy of the edge set and iterative
+// strategies re-paid decode cost every iteration. The cache makes
+// decoded blocks a shared, budgeted resource:
+//
+//   - a Get hit returns a pinned handle to the already-decoded block;
+//   - a miss runs the caller's loader exactly once per key
+//     (concurrent misses coalesce on the in-flight load) and publishes
+//     the result;
+//   - Release unpins; unpinned blocks are evicted in LRU order whenever
+//     resident bytes exceed the budget. Pinned blocks are never evicted,
+//     so a pipeline that pins the next batch while computing on the
+//     current one may transiently exceed the budget by the pinned set.
+//
+// Keys carry a store generation: when a store's content is replaced
+// (background compaction swapping a rebuilt store in), the owner
+// allocates a fresh generation for the new store and invalidates the old
+// one, so a block decoded from the retired store can never be served to
+// a run over its replacement. Generations are allocated process-wide by
+// NextGeneration, which lets many stores share one cache (one budget)
+// without key collisions.
+//
+// Values are opaque to the cache (`any` plus an explicit byte size), so
+// the same cache holds CSR sub-shards and the source-sorted ablation's
+// flattened form side by side.
+package blockcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decoded block: sub-shard (I, J) of the given
+// replica of the store generation Gen. Flat distinguishes the
+// source-sorted (Table IV ablation) form from the CSR form of the same
+// sub-shard.
+type Key struct {
+	Gen       uint64
+	I, J      int
+	Transpose bool
+	Flat      bool
+}
+
+// generation is the process-wide store-generation counter.
+var generation atomic.Uint64
+
+// NextGeneration allocates a fresh, process-unique store generation.
+// Every opened store (and every compaction-swapped replacement) gets its
+// own, so one shared cache can serve many stores without aliasing.
+func NextGeneration() uint64 { return generation.Add(1) }
+
+// entry is one cached block. An entry is born with refs = 1 (the loading
+// Get); waiters block on ready. refs > 0 pins the entry; at refs == 0 it
+// moves to the LRU list and becomes evictable. doomed marks an entry
+// whose generation was invalidated while pinned: it is already removed
+// from the map (no future Get can find it) and its bytes are returned on
+// the final release.
+type entry struct {
+	key   Key
+	ready chan struct{}
+	val   any
+	size  int64
+	err   error
+
+	refs   int
+	doomed bool
+	elem   *list.Element // non-nil iff refs == 0 and the entry is evictable
+}
+
+// Stats is a point-in-time copy of the cache counters.
+type Stats struct {
+	// Hits counts Gets served from a resident or in-flight block
+	// (waiting on another Get's load counts as a hit: only one decode
+	// happened).
+	Hits int64
+	// Misses counts Gets that ran the loader.
+	Misses int64
+	// Evictions counts blocks dropped to fit the budget.
+	Evictions int64
+	// Invalidations counts blocks dropped by generation invalidation.
+	Invalidations int64
+	// Blocks is the number of resident blocks (gauge).
+	Blocks int64
+	// ResidentBytes is the decoded bytes held, pinned or not (gauge).
+	ResidentBytes int64
+	// PinnedBytes is the subset of ResidentBytes held by unreleased
+	// handles (gauge).
+	PinnedBytes int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any traffic.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Summary renders the one-line human summary the CLIs print, or ""
+// before any traffic.
+func (s Stats) Summary() string {
+	if s.Hits+s.Misses == 0 {
+		return ""
+	}
+	return fmt.Sprintf("block cache: %d hits, %d misses (%.1f%% hit ratio), %d evictions",
+		s.Hits, s.Misses, 100*s.HitRatio(), s.Evictions)
+}
+
+// Cache is the shared block cache. The zero value is not usable; use New.
+type Cache struct {
+	budget int64 // < 0 unlimited; >= 0 resident-byte budget (0 = pins only)
+
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	lru      *list.List // unpinned entries, most recently used at front
+	resident int64
+	pinned   int64
+
+	hits, misses, evictions, invalidations atomic.Int64
+}
+
+// New creates a cache with the given resident-byte budget. A negative
+// budget means unlimited; zero keeps nothing beyond the currently pinned
+// blocks (caching disabled, but loads still coalesce and handles still
+// pin, so pipelined prefetch works unchanged).
+func New(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		entries: make(map[Key]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Budget returns the configured resident-byte budget (< 0 = unlimited).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// Handle is a pinned reference to a cached block. The block cannot be
+// evicted until Release; the value must not be mutated (it is shared by
+// every concurrent holder).
+type Handle struct {
+	c        *Cache
+	e        *entry
+	released atomic.Bool
+}
+
+// Value returns the cached block.
+func (h *Handle) Value() any { return h.e.val }
+
+// Size returns the block's accounted byte size.
+func (h *Handle) Size() int64 { return h.e.size }
+
+// Release unpins the block. Releasing twice is a no-op.
+func (h *Handle) Release() {
+	if h == nil || !h.released.CompareAndSwap(false, true) {
+		return
+	}
+	h.c.mu.Lock()
+	h.c.unref(h.e)
+	h.c.mu.Unlock()
+}
+
+// Get returns a pinned handle for key, running load to produce the block
+// on a miss. Concurrent Gets for the same key coalesce: exactly one runs
+// load, the rest wait and share the result. A load error is returned to
+// every waiter and nothing is cached.
+func (c *Cache) Get(key Key, load func() (val any, size int64, err error)) (*Handle, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.ref(e)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			c.mu.Lock()
+			e.refs-- // never resident: no accounting to unwind
+			c.mu.Unlock()
+			return nil, e.err
+		}
+		c.hits.Add(1)
+		return &Handle{c: c, e: e}, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	val, size, err := load()
+
+	c.mu.Lock()
+	e.val, e.size, e.err = val, size, err
+	if err != nil {
+		// Only remove the mapping if it is still ours — an invalidation
+		// may have dropped it and a successor entry may own the key now.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		e.refs--
+	} else {
+		c.resident += size
+		c.pinned += size
+		c.misses.Add(1)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, e: e}, nil
+}
+
+// ref pins e. Caller holds mu.
+func (c *Cache) ref(e *entry) {
+	if e.refs == 0 {
+		// Entries at refs == 0 are always ready and on the LRU list.
+		c.lru.Remove(e.elem)
+		e.elem = nil
+		c.pinned += e.size
+	}
+	e.refs++
+}
+
+// unref unpins e, retiring it if doomed or enqueueing it for eviction.
+// Caller holds mu.
+func (c *Cache) unref(e *entry) {
+	e.refs--
+	if e.refs > 0 || e.err != nil {
+		return
+	}
+	c.pinned -= e.size
+	if e.doomed {
+		c.resident -= e.size
+		return
+	}
+	e.elem = c.lru.PushFront(e)
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used unpinned entries until resident
+// bytes fit the budget. Caller holds mu.
+func (c *Cache) evictLocked() {
+	if c.budget < 0 {
+		return
+	}
+	for c.resident > c.budget {
+		el := c.lru.Back()
+		if el == nil {
+			return // everything else is pinned; transient overage
+		}
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.resident -= e.size
+		c.evictions.Add(1)
+	}
+}
+
+// InvalidateGeneration drops every block of the given store generation.
+// Unpinned blocks are freed immediately; pinned ones are unmapped now
+// (no future Get can return them) and their bytes are returned when the
+// last holder releases. Callers invalidate after ensuring no new run
+// will request the generation (the server does this under the graph's
+// run lock during a compaction swap).
+func (c *Cache) InvalidateGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if k.Gen != gen {
+			continue
+		}
+		delete(c.entries, k)
+		c.invalidations.Add(1)
+		if e.refs == 0 {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+			c.resident -= e.size
+		} else {
+			e.doomed = true
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	blocks := int64(len(c.entries))
+	resident, pinned := c.resident, c.pinned
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Blocks:        blocks,
+		ResidentBytes: resident,
+		PinnedBytes:   pinned,
+	}
+}

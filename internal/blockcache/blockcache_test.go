@@ -1,0 +1,235 @@
+package blockcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(gen uint64, i, j int) Key { return Key{Gen: gen, I: i, J: j} }
+
+// load returns a loader producing a distinguishable value of the given
+// size and counting its invocations.
+func load(calls *atomic.Int64, v string, size int64) func() (any, int64, error) {
+	return func() (any, int64, error) {
+		calls.Add(1)
+		return v, size, nil
+	}
+}
+
+func TestHitMissAndRefcounting(t *testing.T) {
+	c := New(1 << 20)
+	var calls atomic.Int64
+	h1, err := c.Get(key(1, 0, 0), load(&calls, "a", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Value().(string) != "a" {
+		t.Fatalf("Value = %v", h1.Value())
+	}
+	h2, err := c.Get(key(1, 0, 0), load(&calls, "b", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Value().(string) != "a" {
+		t.Fatal("second Get did not share the cached block")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.ResidentBytes != 100 || st.PinnedBytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h1.Release()
+	if st := c.Stats(); st.PinnedBytes != 100 {
+		t.Fatalf("pinned after one of two releases = %d, want 100", st.PinnedBytes)
+	}
+	h2.Release()
+	h2.Release() // double release is a no-op
+	st = c.Stats()
+	if st.PinnedBytes != 0 || st.ResidentBytes != 100 || st.Blocks != 1 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+func TestLRUEvictionRespectsBudgetAndPins(t *testing.T) {
+	c := New(250)
+	var calls atomic.Int64
+	var handles []*Handle
+	for j := 0; j < 3; j++ {
+		h, err := c.Get(key(1, 0, j), load(&calls, fmt.Sprint(j), 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// All three pinned: 300 resident bytes exceed the 250 budget, but
+	// pins are never evicted.
+	if st := c.Stats(); st.ResidentBytes != 300 || st.Evictions != 0 {
+		t.Fatalf("pinned overage stats = %+v", st)
+	}
+	for _, h := range handles {
+		h.Release()
+	}
+	// Releasing lets eviction trim to the budget, oldest-released first.
+	st := c.Stats()
+	if st.ResidentBytes != 200 || st.Blocks != 2 || st.Evictions != 1 {
+		t.Fatalf("post-release stats = %+v", st)
+	}
+	// Block 0 was the first released, so it is the LRU victim: a re-Get
+	// must miss.
+	if _, err := c.Get(key(1, 0, 0), load(&calls, "0", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("loader calls = %d, want 4 (evicted block re-decoded)", calls.Load())
+	}
+}
+
+func TestZeroBudgetKeepsNothingBeyondPins(t *testing.T) {
+	c := New(0)
+	var calls atomic.Int64
+	h, err := c.Get(key(1, 0, 0), load(&calls, "a", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.ResidentBytes != 64 {
+		t.Fatalf("pinned block not resident: %+v", st)
+	}
+	h.Release()
+	if st := c.Stats(); st.ResidentBytes != 0 || st.Blocks != 0 {
+		t.Fatalf("zero-budget cache retained a block: %+v", st)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := New(-1)
+	boom := errors.New("boom")
+	if _, err := c.Get(key(1, 0, 0), func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	var calls atomic.Int64
+	h, err := c.Get(key(1, 0, 0), load(&calls, "ok", 8))
+	if err != nil || calls.Load() != 1 {
+		t.Fatalf("retry after error: err=%v calls=%d", err, calls.Load())
+	}
+	h.Release()
+	if st := c.Stats(); st.ResidentBytes != 8 || st.PinnedBytes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidateGeneration(t *testing.T) {
+	c := New(-1)
+	var calls atomic.Int64
+	hOld, _ := c.Get(key(1, 0, 0), load(&calls, "old-pinned", 10))
+	hTmp, _ := c.Get(key(1, 0, 1), load(&calls, "old-idle", 10))
+	hTmp.Release()
+	hNew, _ := c.Get(key(2, 0, 0), load(&calls, "new", 10))
+
+	c.InvalidateGeneration(1)
+
+	// The unpinned gen-1 block is gone immediately; the pinned one is
+	// unmapped (a re-Get misses) but its bytes stay until release.
+	st := c.Stats()
+	if st.Blocks != 1 || st.ResidentBytes != 20 || st.Invalidations != 2 {
+		t.Fatalf("post-invalidate stats = %+v", st)
+	}
+	if _, err := c.Get(key(1, 0, 0), load(&calls, "old-reload", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("invalidated block served from cache (calls=%d)", calls.Load())
+	}
+	// The doomed block's value is still usable by its holder.
+	if hOld.Value().(string) != "old-pinned" {
+		t.Fatal("pinned value corrupted by invalidation")
+	}
+	hOld.Release()
+	hNew.Release()
+	st = c.Stats()
+	// gen-2 block plus the post-invalidate reload remain.
+	if st.ResidentBytes != 20 || st.PinnedBytes != 10 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+func TestConcurrentGetSingleFlight(t *testing.T) {
+	c := New(-1)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			h, err := c.Get(key(1, 3, 4), load(&calls, "x", 1))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if h.Value().(string) != "x" {
+				t.Error("wrong value")
+			}
+			h.Release()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("loader ran %d times under concurrency, want 1", calls.Load())
+	}
+}
+
+// TestConcurrentChurn hammers Get/Release/Invalidate from many
+// goroutines; run under -race it is the cache's memory-safety proof.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(512) // small budget: constant eviction pressure
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 300; n++ {
+				k := key(uint64(1+n%3), n%5, (n+w)%5)
+				h, err := c.Get(k, func() (any, int64, error) { return n, 64, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n%7 == 0 {
+					c.InvalidateGeneration(uint64(1 + n%3))
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.PinnedBytes != 0 {
+		t.Fatalf("pinned bytes leaked: %+v", st)
+	}
+	if st.ResidentBytes > 512 {
+		t.Fatalf("budget exceeded at rest: %+v", st)
+	}
+}
+
+func TestNextGenerationUnique(t *testing.T) {
+	a, b := NextGeneration(), NextGeneration()
+	if a == b || b == 0 {
+		t.Fatalf("generations not unique: %d %d", a, b)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+}

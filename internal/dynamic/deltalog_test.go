@@ -127,6 +127,15 @@ func TestDeltaOverlayMatchesRebuild(t *testing.T) {
 		{"dpu", engine.Config{Threads: 2, Strategy: engine.DPU}},
 		{"mpu", engine.Config{Threads: 2, Strategy: engine.MPU, MemoryBudget: pingPong / 2}},
 		{"lock", engine.Config{Threads: 2, Strategy: engine.SPU, Sync: engine.Lock}},
+		// Block-cache ablation: the overlay must serve identically with
+		// the shared cache disabled (pure streaming) and with a tiny
+		// budget that evicts mid-iteration, for every strategy. Cached
+		// base blocks carry no tombstones — deletes are applied at
+		// gather time — so warm blocks must stay valid under deltas.
+		{"spu-nocache", engine.Config{Threads: 2, Strategy: engine.SPU, CacheBytes: -1}},
+		{"dpu-nocache", engine.Config{Threads: 2, Strategy: engine.DPU, CacheBytes: -1}},
+		{"mpu-nocache", engine.Config{Threads: 2, Strategy: engine.MPU, MemoryBudget: pingPong / 2, CacheBytes: -1}},
+		{"spu-tinycache", engine.Config{Threads: 2, Strategy: engine.SPU, CacheBytes: 4096}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -312,17 +321,26 @@ func TestDeltaOverlayReverseTraversal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gres, err := algorithms.WCC(overlayEngine(t, st, log, engine.Config{Threads: 2}))
-	if err != nil {
-		t.Fatal(err)
-	}
 	wa := make([]uint32, len(wres.Attrs))
-	ga := make([]uint32, len(gres.Attrs))
 	for i := range wres.Attrs {
 		wa[i] = uint32(wres.Attrs[i])
 	}
-	for i := range gres.Attrs {
-		ga[i] = uint32(gres.Attrs[i])
+	// WCC traverses both replicas; check the overlay with the block
+	// cache in its default, disabled and eviction-heavy configurations.
+	for _, cc := range []struct {
+		name       string
+		cacheBytes int64
+	}{{"cache", 0}, {"nocache", -1}, {"tinycache", 4096}} {
+		t.Run(cc.name, func(t *testing.T) {
+			gres, err := algorithms.WCC(overlayEngine(t, st, log, engine.Config{Threads: 2, CacheBytes: cc.cacheBytes}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ga := make([]uint32, len(gres.Attrs))
+			for i := range gres.Attrs {
+				ga[i] = uint32(gres.Attrs[i])
+			}
+			testutil.SamePartition(t, wa, ga)
+		})
 	}
-	testutil.SamePartition(t, wa, ga)
 }

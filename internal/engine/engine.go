@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/diskio"
 	"nxgraph/internal/storage"
 )
@@ -105,6 +106,31 @@ type Config struct {
 	// ChunkDsts is the number of distinct destinations per fine-grained
 	// task; 0 selects a default.
 	ChunkDsts int
+	// CacheBytes budgets the engine's sub-shard block cache, shared by
+	// all runs on the store: 0 derives the budget from MemoryBudget
+	// (unlimited when MemoryBudget is 0, the headroom past the ping-pong
+	// arrays otherwise), a positive value sets it in bytes, and a
+	// negative value disables caching — blocks are held only while
+	// pinned by the running iteration's prefetch pipeline.
+	CacheBytes int64
+}
+
+// cacheBudget resolves CacheBytes against MemoryBudget for a graph of n
+// vertices, in the block cache's convention (< 0 unlimited, >= 0 bytes).
+func (c *Config) cacheBudget(n uint32) int64 {
+	switch {
+	case c.CacheBytes > 0:
+		return c.CacheBytes
+	case c.CacheBytes < 0:
+		return 0
+	case c.MemoryBudget <= 0:
+		return -1
+	}
+	b := c.MemoryBudget - 2*int64(n)*Ba
+	if b < 0 {
+		b = 0
+	}
+	return b
 }
 
 func (c *Config) threads() int {
@@ -129,6 +155,13 @@ type Engine struct {
 	outDeg []uint32 // forward out-degrees
 	inDeg  []uint32 // forward in-degrees (= reverse out-degrees)
 
+	// cache holds decoded sub-shard blocks shared by every run on the
+	// store; cacheGen is the store generation its keys carry. New gives
+	// each engine a private cache sized by Config.CacheBytes; a serving
+	// layer may substitute a process-wide cache via SetBlockCache.
+	cache    *blockcache.Cache
+	cacheGen uint64
+
 	// overlayProvider, when set, supplies each new run's delta-overlay
 	// snapshot (see SetOverlayProvider).
 	overlayProvider OverlayProvider
@@ -140,8 +173,28 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{store: store, cfg: cfg, outDeg: out, inDeg: in}, nil
+	return &Engine{
+		store:    store,
+		cfg:      cfg,
+		outDeg:   out,
+		inDeg:    in,
+		cache:    blockcache.New(cfg.cacheBudget(store.Meta().NumVertices)),
+		cacheGen: blockcache.NextGeneration(),
+	}, nil
 }
+
+// SetBlockCache substitutes a shared block cache (and the store
+// generation this engine's reads are keyed under) for the engine's
+// private one. It must be called before runs are created; the serving
+// layer uses it to share one budgeted cache across every registered
+// graph and to retire a generation when compaction swaps the store.
+func (e *Engine) SetBlockCache(c *blockcache.Cache, gen uint64) {
+	e.cache, e.cacheGen = c, gen
+}
+
+// CacheStats returns the engine's block cache counters. With a shared
+// cache installed they cover every store on that cache.
+func (e *Engine) CacheStats() blockcache.Stats { return e.cache.Stats() }
 
 // Store returns the engine's store.
 func (e *Engine) Store() *storage.Store { return e.store }

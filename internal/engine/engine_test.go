@@ -93,7 +93,8 @@ func TestSPUZeroDiskTrafficWhenCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer run.Close()
-	// Warm-up (cache load happened at NewRun); measure one iteration.
+	// Warm-up (the first iteration populates the block cache); measure
+	// one iteration.
 	if _, err := run.Step(); err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,13 @@ func TestSPUZeroDiskTrafficWhenCached(t *testing.T) {
 
 // TestDPUIOMatchesTableII validates the measured per-iteration traffic of
 // the DPU strategy against the analytic model (Table II, implementation
-// variant: one extra n·Ba read for old attributes in FromHub).
+// variant: one extra n·Ba read for old attributes in FromHub). The block
+// cache is disabled: Table II models the streaming read path, which the
+// cache exists to short-circuit.
 func TestDPUIOMatchesTableII(t *testing.T) {
 	g, _ := gen.RMAT(gen.DefaultRMAT(10, 10, 3))
 	st, oracle := testutil.BuildStore(t, g, testutil.StoreOptions{P: 6})
-	e, err := engine.New(st, engine.Config{Strategy: engine.DPU, Threads: 2})
+	e, err := engine.New(st, engine.Config{Strategy: engine.DPU, Threads: 2, CacheBytes: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +157,8 @@ func TestMPUIOBetweenSPUAndDPU(t *testing.T) {
 	g, _ := gen.RMAT(gen.DefaultRMAT(10, 10, 4))
 	measure := func(strategy engine.Strategy, budget int64) int64 {
 		st, oracle := testutil.BuildStore(t, g, testutil.StoreOptions{P: 8})
-		e, err := engine.New(st, engine.Config{Strategy: strategy, MemoryBudget: budget, Threads: 2})
+		// Cache disabled: the monotonicity claim is about streaming I/O.
+		e, err := engine.New(st, engine.Config{Strategy: strategy, MemoryBudget: budget, Threads: 2, CacheBytes: -1})
 		if err != nil {
 			t.Fatal(err)
 		}

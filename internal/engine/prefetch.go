@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"nxgraph/internal/blockcache"
+	"nxgraph/internal/storage"
+)
+
+// This file is the engine's read path: every sub-shard consumed by a
+// step goes through the shared block cache (pinned, decoded blocks —
+// see internal/blockcache) and, within a step, through a double-buffered
+// prefetch pipeline. While the row/column phase computes on batch k, one
+// background goroutine pins batch k+1's blocks, so disk reads overlap
+// gathering instead of serializing with it. Cache hits make the fetch a
+// map lookup; misses decode once and publish for every run on the store.
+
+// cellID names one block a phase needs: sub-shard (i, j) of traversal
+// flag d (1 = transpose), optionally in the source-sorted flat form of
+// the Table IV ablation.
+type cellID struct {
+	d, i, j int
+	flat    bool
+}
+
+// getBlock pins cell c's decoded block, loading it from the store on a
+// cache miss.
+func (r *Run) getBlock(c cellID) (*blockcache.Handle, error) {
+	key := blockcache.Key{Gen: r.e.cacheGen, I: c.i, J: c.j, Transpose: c.d == 1, Flat: c.flat}
+	return r.e.cache.Get(key, func() (any, int64, error) {
+		ss, err := r.e.store.ReadSubShard(c.i, c.j, c.d == 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if c.flat {
+			fl := toSrcSorted(ss)
+			return fl, fl.memBytes(), nil
+		}
+		return ss, ss.MemBytes(), nil
+	})
+}
+
+// fetchBatch holds the pinned blocks of one phase batch (a row of the
+// row phase, a destination interval of the column phase). handles is
+// populated by the fetch goroutine and must only be read after wait;
+// extra collects fallback pins taken synchronously by the consumer so
+// release returns everything at once.
+type fetchBatch struct {
+	handles map[cellID]*blockcache.Handle
+	extra   []*blockcache.Handle
+	err     error
+	done    chan struct{}
+}
+
+// emptyBatch returns a completed batch with no blocks, for consumers
+// whose batch was not planned (all their loads fall back to synchronous
+// pins via batchBlock).
+func emptyBatch() *fetchBatch {
+	b := &fetchBatch{done: make(chan struct{})}
+	close(b.done)
+	return b
+}
+
+// startFetch pins the given cells on a background goroutine. Cells are
+// loaded in slice order — ascending j within a row, matching the
+// physical row-major layout of shards.dat, so misses read sequentially.
+func (r *Run) startFetch(cells []cellID) *fetchBatch {
+	if len(cells) == 0 {
+		return emptyBatch()
+	}
+	b := &fetchBatch{
+		handles: make(map[cellID]*blockcache.Handle, len(cells)),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(b.done)
+		for _, c := range cells {
+			h, err := r.getBlock(c)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.handles[c] = h
+		}
+	}()
+	return b
+}
+
+// wait blocks until the fetch goroutine finished and reports its error.
+// It must be called before reading handles.
+func (b *fetchBatch) wait() error {
+	<-b.done
+	return b.err
+}
+
+// release unpins every block the batch holds (including fallback pins),
+// waiting out an in-flight fetch first so no pin is orphaned.
+func (b *fetchBatch) release() {
+	if b == nil {
+		return
+	}
+	<-b.done
+	for _, h := range b.handles {
+		h.Release()
+	}
+	for _, h := range b.extra {
+		h.Release()
+	}
+	b.handles, b.extra = nil, nil
+}
+
+// batchBlock returns cell c's pinned block from the batch, falling back
+// to a synchronous load (recorded in the batch so release covers it)
+// when the planner did not anticipate the cell. Callers must have
+// wait()ed on the batch.
+func (r *Run) batchBlock(b *fetchBatch, c cellID) (*blockcache.Handle, error) {
+	if h, ok := b.handles[c]; ok {
+		return h, nil
+	}
+	h, err := r.getBlock(c)
+	if err != nil {
+		return nil, err
+	}
+	b.extra = append(b.extra, h)
+	return h, nil
+}
+
+// batchSubShard is batchBlock typed for CSR sub-shards.
+func (r *Run) batchSubShard(b *fetchBatch, c cellID) (*storage.SubShard, error) {
+	h, err := r.batchBlock(b, c)
+	if err != nil {
+		return nil, err
+	}
+	return h.Value().(*storage.SubShard), nil
+}
+
+// batchFlat is batchBlock typed for the source-sorted ablation form.
+func (r *Run) batchFlat(b *fetchBatch, c cellID) (*srcSortedEdges, error) {
+	h, err := r.batchBlock(b, c)
+	if err != nil {
+		return nil, err
+	}
+	return h.Value().(*srcSortedEdges), nil
+}
+
+// memBytes returns the flat form's in-memory footprint for cache
+// accounting.
+func (e *srcSortedEdges) memBytes() int64 {
+	b := int64(len(e.srcs)+len(e.dsts)) * 4
+	if e.ws != nil {
+		b += int64(len(e.ws)) * 4
+	}
+	return b
+}
+
+// fetchPlan is one batch of the pipeline: the blocks batch id (a row
+// index in the row phase, a destination interval in the column phase)
+// will consume. touched carries the column phase's columnTouched
+// verdict so the step loop never re-derives it (the pipeline's
+// take-order contract holds by construction when the loop iterates the
+// plans themselves).
+type fetchPlan struct {
+	id      int
+	touched bool
+	cells   []cellID
+}
+
+// pipeline runs the double-buffered prefetch over a phase's planned
+// batches: at any time the batch being computed on is pinned and the
+// next one is loading.
+type pipeline struct {
+	r        *Run
+	plans    []fetchPlan
+	next     int
+	inflight *fetchBatch
+}
+
+// newPipeline starts fetching the first planned batch.
+func (r *Run) newPipeline(plans []fetchPlan) *pipeline {
+	p := &pipeline{r: r, plans: plans}
+	if len(plans) > 0 {
+		p.inflight = r.startFetch(plans[0].cells)
+	}
+	return p
+}
+
+// take hands over the pinned batch for plan id — which must be consumed
+// in plan order — and starts the following plan's fetch so its reads
+// overlap the caller's compute. The caller owns the returned batch and
+// must release it. An unplanned id gets an empty batch.
+func (p *pipeline) take(id int) *fetchBatch {
+	if p.next >= len(p.plans) || p.plans[p.next].id != id {
+		return emptyBatch()
+	}
+	b := p.inflight
+	p.next++
+	if p.next < len(p.plans) {
+		p.inflight = p.r.startFetch(p.plans[p.next].cells)
+	} else {
+		p.inflight = nil
+	}
+	return b
+}
+
+// drain releases the in-flight batch; it must run on every exit from the
+// phase loop (early error returns included) so no pin outlives the step.
+func (p *pipeline) drain() {
+	if p.inflight != nil {
+		p.inflight.release()
+		p.inflight = nil
+	}
+}
+
+// rowPlans lists, in execution order, the rows the row phase will
+// process and the base-store blocks each needs. Overlay cells are
+// in-memory and never planned.
+func (r *Run) rowPlans(dirs []int) []fetchPlan {
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	flat := r.e.cfg.Order == SrcSortedCoarse
+	var plans []fetchPlan
+	for i := 0; i < P; i++ {
+		if !r.active[i] {
+			continue
+		}
+		jmax := P
+		if i < Q {
+			jmax = Q // SS[i][j>=Q] with resident source is handled by the column phase
+		}
+		var cells []cellID
+		for _, d := range dirs {
+			infos := r.subShardInfosFor(d)
+			for j := 0; j < jmax; j++ {
+				if infos[i*P+j].Edges > 0 {
+					cells = append(cells, cellID{d, i, j, flat})
+				}
+			}
+		}
+		plans = append(plans, fetchPlan{id: i, cells: cells})
+	}
+	return plans
+}
+
+// colPlans lists the destination intervals the column phase will visit
+// and the resident-source blocks each folds. It must be computed after
+// the row phase (columnTouched consults hubRowValid, which the row phase
+// fills in).
+func (r *Run) colPlans(dirs []int) []fetchPlan {
+	m := r.e.store.Meta()
+	P, Q := m.P, r.q
+	var plans []fetchPlan
+	for j := Q; j < P; j++ {
+		touched := r.columnTouched(j, dirs)
+		if !touched && !r.dense {
+			continue
+		}
+		var cells []cellID
+		if touched {
+			for _, d := range dirs {
+				infos := r.subShardInfosFor(d)
+				for i := 0; i < Q; i++ {
+					if r.active[i] && infos[i*P+j].Edges > 0 {
+						cells = append(cells, cellID{d, i, j, false})
+					}
+				}
+			}
+		}
+		plans = append(plans, fetchPlan{id: j, touched: touched, cells: cells})
+	}
+	return plans
+}

@@ -28,6 +28,11 @@ import (
 //	                fold resident-source contributions and hubs, apply,
 //	                write back (FromHub);
 //	apply phase   — finalize resident intervals and ping-pong swap.
+//
+// Sub-shard reads flow through the engine's shared block cache with a
+// double-buffered prefetch pipeline per phase (see prefetch.go): runs on
+// the same store reuse each other's decoded blocks, and misses load in
+// the background while the previous batch computes.
 type Run struct {
 	e       *Engine
 	p       Program
@@ -47,9 +52,6 @@ type Run struct {
 	attrs       *storage.AttrStore
 	hubs        [2]*storage.HubStore
 	hubRowValid [2][]bool
-
-	rowCache  [2][][]*storage.SubShard
-	flatCache [2][][]*srcSortedEdges // Table IV ablation representation
 
 	// ov is the delta-overlay snapshot captured at NewRun (nil without
 	// pending deltas); ovOut/ovIn are its adjusted degree arrays, and
@@ -137,10 +139,6 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 		return nil, err
 	}
 	if err := r.openHubs(); err != nil {
-		r.Close()
-		return nil, err
-	}
-	if err := r.buildEdgeCache(); err != nil {
 		r.Close()
 		return nil, err
 	}
@@ -254,76 +252,6 @@ func (r *Run) openHubs() error {
 		r.hubRowValid[d] = make([]bool, r.e.store.Meta().P)
 	}
 	return nil
-}
-
-// buildEdgeCache caches whole sub-shard rows in memory while the budget
-// allows. Caching applies only when all intervals are resident (SPU):
-// under MPU/DPU the budget is, by definition, exhausted by intervals.
-func (r *Run) buildEdgeCache() error {
-	m := r.e.store.Meta()
-	if r.q < m.P {
-		return nil
-	}
-	budget := int64(-1) // unlimited
-	if bm := r.e.cfg.MemoryBudget; bm > 0 {
-		budget = bm - 2*int64(m.NumVertices)*Ba
-		if budget < 0 {
-			budget = 0
-		}
-	}
-	dirs := r.dirsUsed()
-	for _, d := range dirs {
-		r.rowCache[d] = make([][]*storage.SubShard, m.P)
-		if r.e.cfg.Order == SrcSortedCoarse {
-			r.flatCache[d] = make([][]*srcSortedEdges, m.P)
-		}
-	}
-	used := int64(0)
-	for i := 0; i < m.P; i++ {
-		rowBytes := int64(0)
-		for _, d := range dirs {
-			infos := m.SubShards
-			if d == 1 {
-				infos = m.TSubShards
-			}
-			for j := 0; j < m.P; j++ {
-				rowBytes += infos[i*m.P+j].Length
-			}
-		}
-		if budget >= 0 && used+rowBytes > budget {
-			return nil // remaining rows stream from disk each iteration
-		}
-		used += rowBytes
-		for _, d := range dirs {
-			row := make([]*storage.SubShard, m.P)
-			for j := 0; j < m.P; j++ {
-				ss, err := r.e.store.ReadSubShard(i, j, d == 1)
-				if err != nil {
-					return err
-				}
-				row[j] = ss
-			}
-			r.rowCache[d][i] = row
-			if r.e.cfg.Order == SrcSortedCoarse {
-				flat := make([]*srcSortedEdges, m.P)
-				for j := 0; j < m.P; j++ {
-					flat[j] = toSrcSorted(row[j])
-				}
-				r.flatCache[d][i] = flat
-				r.rowCache[d][i] = nil // flattened form replaces CSR
-			}
-		}
-	}
-	return nil
-}
-
-// loadRowSubShard returns SS[i][j] for traversal flag d, from cache or
-// disk.
-func (r *Run) loadRowSubShard(d, i, j int) (*storage.SubShard, error) {
-	if r.rowCache[d] != nil && r.rowCache[d][i] != nil {
-		return r.rowCache[d][i][j], nil
-	}
-	return r.e.store.ReadSubShard(i, j, d == 1)
 }
 
 // SetProgress installs a per-iteration progress observer (nil to clear).

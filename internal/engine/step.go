@@ -77,7 +77,11 @@ func (r *Run) step() (bool, error) {
 	}
 
 	// Row phase: SPU-like updates into resident accumulators, ToHub for
-	// on-disk destinations (Algorithm 7 lines 1-16).
+	// on-disk destinations (Algorithm 7 lines 1-16). Each row's blocks
+	// are pinned by the prefetch pipeline one row ahead, so row i's
+	// gathering overlaps row i+1's reads.
+	rowPipe := r.newPipeline(r.rowPlans(dirs))
+	defer rowPipe.drain()
 	for i := 0; i < P; i++ {
 		if err := r.checkCtx(); err != nil {
 			return false, err
@@ -87,7 +91,7 @@ func (r *Run) step() (bool, error) {
 			if !srcActive {
 				continue
 			}
-			if err := r.processRow(i, view{r.curr, 0}, dirs); err != nil {
+			if err := r.processRow(i, view{r.curr, 0}, dirs, rowPipe.take(i)); err != nil {
 				return false, err
 			}
 			continue
@@ -114,7 +118,7 @@ func (r *Run) step() (bool, error) {
 		if !srcActive {
 			continue
 		}
-		if err := r.processRow(i, view{buf, lo}, dirs); err != nil {
+		if err := r.processRow(i, view{buf, lo}, dirs, rowPipe.take(i)); err != nil {
 			return false, err
 		}
 	}
@@ -125,20 +129,22 @@ func (r *Run) step() (bool, error) {
 	activeNext := make([]bool, P)
 
 	// Column phase: FromHub plus resident-source gathering for on-disk
-	// destination intervals (Algorithm 7 lines 17-26).
-	for j := Q; j < P; j++ {
+	// destination intervals (Algorithm 7 lines 17-26), pipelined like the
+	// row phase (the column-major reads are the seekiest of the step).
+	// The loop iterates the plans themselves, so the pipeline's
+	// consume-in-plan-order contract holds by construction.
+	colPlans := r.colPlans(dirs)
+	colPipe := r.newPipeline(colPlans)
+	defer colPipe.drain()
+	for _, plan := range colPlans {
 		if err := r.checkCtx(); err != nil {
 			return false, err
 		}
-		touched := r.columnTouched(j, dirs)
-		if !touched && !r.dense {
-			continue
-		}
-		changed, err := r.processColumn(j, dirs, touched)
+		changed, err := r.processColumn(plan.id, dirs, plan.touched, colPipe.take(plan.id))
 		if err != nil {
 			return false, err
 		}
-		activeNext[j] = changed
+		activeNext[plan.id] = changed
 	}
 
 	// Apply phase for resident intervals, then ping-pong swap.
@@ -164,11 +170,17 @@ func (r *Run) subShardInfosFor(d int) []storage.SubShardInfo {
 // processRow executes row i of the sub-shard matrix with source attributes
 // src: destinations in resident intervals accumulate into r.next;
 // destinations in on-disk intervals are gathered into hubs (ToHub).
+// blocks is the row's prefetched batch; processRow owns it — blocks stay
+// pinned until every gather task has run, then the whole batch releases.
 // Within one replica's row, distinct destination ranges never overlap, so
 // callback mode runs each group lock-free; groups that can collide on a
 // destination (forward vs transposed replica, base vs overlay) are
 // separated by barriers — see the scheduling comment below.
-func (r *Run) processRow(i int, src view, dirs []int) error {
+func (r *Run) processRow(i int, src view, dirs []int, blocks *fetchBatch) error {
+	defer blocks.release()
+	if err := blocks.wait(); err != nil {
+		return err
+	}
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
 	jmax := P
@@ -196,7 +208,7 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 				continue
 			}
 			if r.e.cfg.Order == SrcSortedCoarse { // overlay rejected at NewRun
-				flat, err := r.loadFlat(d, i, j)
+				flat, err := r.batchFlat(blocks, cellID{d, i, j, true})
 				if err != nil {
 					return err
 				}
@@ -214,7 +226,7 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 			del := r.cellDel(d, i, j)
 			if j < Q {
 				if base {
-					ss, err := r.loadRowSubShard(d, i, j)
+					ss, err := r.batchSubShard(blocks, cellID{d, i, j, false})
 					if err != nil {
 						return err
 					}
@@ -228,7 +240,7 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 				continue
 			}
 			if base {
-				ss, err := r.loadRowSubShard(d, i, j)
+				ss, err := r.batchSubShard(blocks, cellID{d, i, j, false})
 				if err != nil {
 					return err
 				}
@@ -261,19 +273,6 @@ func (r *Run) processRow(i int, src view, dirs []int) error {
 	}
 	parallelFor(r.threads, len(free), func(t int) { free[t]() }) // no resident groups ran
 	return r.takeErr()
-}
-
-// loadFlat returns the source-sorted (Table IV ablation) form of
-// SS[i][j], from cache or converted on load.
-func (r *Run) loadFlat(d, i, j int) (*srcSortedEdges, error) {
-	if r.flatCache[d] != nil && r.flatCache[d][i] != nil {
-		return r.flatCache[d][i][j], nil
-	}
-	ss, err := r.e.store.ReadSubShard(i, j, d == 1)
-	if err != nil {
-		return nil, err
-	}
-	return toSrcSorted(ss), nil
 }
 
 // gatherTasks builds the fine-grained (callback) or interval-locked (lock)
@@ -377,7 +376,12 @@ func (r *Run) columnTouched(j int, dirs []int) bool {
 
 // processColumn runs the FromHub side for on-disk destination interval j:
 // gather resident-source sub-shards, fold hubs, apply, and persist.
-func (r *Run) processColumn(j int, dirs []int, touched bool) (bool, error) {
+// blocks is the column's prefetched batch; processColumn owns it.
+func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch) (bool, error) {
+	defer blocks.release()
+	if err := blocks.wait(); err != nil {
+		return false, err
+	}
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
 	lo, hi := m.IntervalRange(j)
@@ -396,7 +400,7 @@ func (r *Run) processColumn(j int, dirs []int, touched bool) (bool, error) {
 					continue
 				}
 				if infos[i*P+j].Edges > 0 {
-					ss, err := r.e.store.ReadSubShard(i, j, d == 1)
+					ss, err := r.batchSubShard(blocks, cellID{d, i, j, false})
 					if err != nil {
 						return false, err
 					}

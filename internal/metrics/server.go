@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"nxgraph/internal/blockcache"
 )
 
 // ServerStats aggregates the serving subsystem's operational counters.
@@ -107,6 +109,40 @@ func (s *ServerStats) WritePrometheus(w io.Writer) error {
 	for _, m := range serverMetrics {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			m.name, m.help, m.name, m.typ, m.name, m.value(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var blockCacheMetrics = []struct {
+	name string
+	help string
+	typ  string
+	val  func(blockcache.Stats) int64
+}{
+	{"nxserve_blockcache_hits_total", "Sub-shard reads served from the shared block cache.", "counter",
+		func(s blockcache.Stats) int64 { return s.Hits }},
+	{"nxserve_blockcache_misses_total", "Sub-shard reads that decoded from disk.", "counter",
+		func(s blockcache.Stats) int64 { return s.Misses }},
+	{"nxserve_blockcache_evictions_total", "Blocks evicted to fit the cache budget.", "counter",
+		func(s blockcache.Stats) int64 { return s.Evictions }},
+	{"nxserve_blockcache_invalidations_total", "Blocks dropped by store-generation invalidation.", "counter",
+		func(s blockcache.Stats) int64 { return s.Invalidations }},
+	{"nxserve_blockcache_blocks", "Decoded sub-shard blocks resident.", "gauge",
+		func(s blockcache.Stats) int64 { return s.Blocks }},
+	{"nxserve_blockcache_resident_bytes", "Decoded bytes held by the block cache.", "gauge",
+		func(s blockcache.Stats) int64 { return s.ResidentBytes }},
+	{"nxserve_blockcache_pinned_bytes", "Resident bytes pinned by running iterations.", "gauge",
+		func(s blockcache.Stats) int64 { return s.PinnedBytes }},
+}
+
+// WriteBlockCachePrometheus renders a block cache snapshot in
+// Prometheus text exposition format.
+func WriteBlockCachePrometheus(w io.Writer, s blockcache.Stats) error {
+	for _, m := range blockCacheMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.val(s)); err != nil {
 			return err
 		}
 	}

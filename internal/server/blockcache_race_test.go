@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	nxgraph "nxgraph"
+	"nxgraph/internal/graph"
+)
+
+// httpJSON is a goroutine-safe doJSON: it returns errors instead of
+// calling into testing.T, so churn goroutines can report through a
+// channel.
+func httpJSON(method, url string, body any) (int, map[string]any, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, nil, err
+		}
+	}
+	return resp.StatusCode, out, nil
+}
+
+// waitTerminal polls job id until it reaches a terminal state.
+func waitTerminal(base, id string) (map[string]any, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body, err := httpJSON("GET", base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("poll %s: status %d (%v)", id, code, body)
+		}
+		if s, _ := body["state"].(string); s == "done" || s == "failed" || s == "cancelled" {
+			return body, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("poll %s: no terminal state before deadline", id)
+}
+
+// churnPageRank submits a pagerank job, waits it out, and sanity-checks
+// the result (done, n values, ranks summing to ~1 — a mixed-generation
+// read would break conservation long before the final equality check).
+func churnPageRank(base string, iters, n int) error {
+	code, body, err := httpJSON("POST", base+"/v1/graphs/g/jobs",
+		map[string]any{"algo": "pagerank", "params": map[string]any{"iters": iters}})
+	if err != nil {
+		return err
+	}
+	if code != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d (%v)", code, body)
+	}
+	id, _ := body["id"].(string)
+	end, err := waitTerminal(base, id)
+	if err != nil {
+		return err
+	}
+	if end["state"] != "done" {
+		return fmt.Errorf("job %s ended %v (error %v)", id, end["state"], end["error"])
+	}
+	code, res, err := httpJSON("GET", base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("result %s: status %d err %v", id, code, err)
+	}
+	raw, _ := res["values"].([]any)
+	if len(raw) != n {
+		return fmt.Errorf("job %s returned %d values, want %d", id, len(raw), n)
+	}
+	sum := 0.0
+	for _, v := range raw {
+		f, _ := v.(float64)
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("job %s ranks sum to %g", id, sum)
+	}
+	return nil
+}
+
+// TestSharedCacheConcurrentIngestCompact is the stale-generation gate:
+// concurrent PageRank jobs on one graph share the block cache while
+// edges are ingested mid-run and background compactions swap the store
+// out underneath — repeatedly. If any job ever gathered a block from a
+// retired store generation, its ranks would stop matching a from-scratch
+// build of the final edge set (and rank conservation would break during
+// the churn). Run under -race this also proves the cache/pipeline
+// memory model.
+func TestSharedCacheConcurrentIngestCompact(t *testing.T) {
+	const n = 48
+	seen := map[[2]int]bool{}
+	g := &graph.EdgeList{NumVertices: n}
+	addEdge := func(src, dst int) bool {
+		if src == dst || seen[[2]int{src, dst}] {
+			return false
+		}
+		seen[[2]int{src, dst}] = true
+		g.Edges = append(g.Edges, graph.Edge{Src: uint32(src), Dst: uint32(dst), Weight: 1})
+		return true
+	}
+	for i := 0; i < n; i++ {
+		addEdge(i, (i+1)%n)
+		addEdge(i, (i*7+3)%n)
+	}
+	dir := t.TempDir()
+	gr, err := nxgraph.Build(dir, g, nxgraph.Options{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Close()
+
+	// A small block-cache budget keeps eviction churning alongside the
+	// generation swaps.
+	s := New(Config{Workers: 3, BlockCacheBytes: 1 << 20})
+	if err := s.OpenGraph("g", dir, nxgraph.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Pre-plan each round's ingest batch (distinct, loop-free edges) so
+	// the fresh-build oracle sees exactly the same final edge set.
+	final := &graph.EdgeList{NumVertices: n}
+	final.Edges = append(final.Edges, g.Edges...)
+	rounds := make([][]map[string]any, 3)
+	next := 1
+	for r := range rounds {
+		for len(rounds[r]) < 8 {
+			src, dst := next%n, (next*13+r)%n
+			next++
+			if !addEdge(src, dst) {
+				continue
+			}
+			rounds[r] = append(rounds[r], map[string]any{"src": src, "dst": dst})
+			final.Edges = append(final.Edges, graph.Edge{Src: uint32(src), Dst: uint32(dst), Weight: 1})
+		}
+	}
+
+	for r, batch := range rounds {
+		var wg sync.WaitGroup
+		errc := make(chan error, 32)
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := 0; k < 3; k++ {
+					// Distinct iteration counts defeat the result cache,
+					// so every job runs the engine.
+					if err := churnPageRank(ts.URL, 5+w*3+k+r, n); err != nil {
+						errc <- err
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func(batch []map[string]any) {
+			defer wg.Done()
+			code, body, err := httpJSON("POST", ts.URL+"/v1/graphs/g/edges", map[string]any{"add": batch})
+			if err != nil {
+				errc <- err
+			} else if code != http.StatusAccepted {
+				errc <- fmt.Errorf("ingest: status %d (%v)", code, body)
+			}
+		}(batch)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body, err := httpJSON("POST", ts.URL+"/v1/graphs/g/compact", nil)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if code != http.StatusAccepted && code != http.StatusOK {
+				errc <- fmt.Errorf("compact: status %d (%v)", code, body)
+				return
+			}
+			id, _ := body["id"].(string)
+			end, err := waitTerminal(ts.URL, id)
+			if err != nil {
+				errc <- err
+			} else if end["state"] != "done" {
+				errc <- fmt.Errorf("compaction ended %v (error %v)", end["state"], end["error"])
+			}
+		}()
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+	}
+
+	// Quiesced: the final served graph (base + any still-pending deltas)
+	// must rank exactly like a from-scratch build of the final edge set.
+	// Dense id assignment differs across rebuilds, so compare the rank
+	// multisets.
+	code, body, err := httpJSON("POST", ts.URL+"/v1/graphs/g/jobs",
+		map[string]any{"algo": "pagerank", "params": map[string]any{"iters": 30}})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("final submit: code %d err %v", code, err)
+	}
+	id, _ := body["id"].(string)
+	if end, err := waitTerminal(ts.URL, id); err != nil || end["state"] != "done" {
+		t.Fatalf("final job: %v %v", end, err)
+	}
+	_, res, err := httpJSON("GET", ts.URL+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := res["values"].([]any)
+	got := make([]float64, len(raw))
+	for i, v := range raw {
+		got[i], _ = v.(float64)
+	}
+
+	freshDir := t.TempDir()
+	fg, err := nxgraph.Build(freshDir, final, nxgraph.Options{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fg.Close()
+	want, err := fg.PageRank(0.85, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Attrs) {
+		t.Fatalf("vertex counts differ: %d vs %d", len(got), len(want.Attrs))
+	}
+	wantSorted := append([]float64(nil), want.Attrs...)
+	sort.Float64s(wantSorted)
+	sort.Float64s(got)
+	for i := range got {
+		if math.Abs(got[i]-wantSorted[i]) > 1e-6 {
+			t.Fatalf("rank multiset differs at %d: %g vs %g (stale block served?)", i, got[i], wantSorted[i])
+		}
+	}
+
+	bs := s.BlockCacheStats()
+	if bs.PinnedBytes != 0 {
+		t.Fatalf("pinned bytes leaked after quiesce: %+v", bs)
+	}
+	if bs.Hits == 0 {
+		t.Fatalf("shared cache never hit: %+v", bs)
+	}
+}

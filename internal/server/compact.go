@@ -8,6 +8,7 @@ import (
 	"time"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/preprocess"
 )
 
@@ -176,8 +177,20 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 		os.RemoveAll(tmpAbs)
 		return nil, err
 	}
-	e.installOverlay(ng)
+	// Key the rebuilt store under a fresh block-cache generation and
+	// retire the old one. We hold runMu, so no run is in flight and no
+	// new run can observe the old generation: blocks decoded from the
+	// store now at dsss.prev are unreachable the moment the swap
+	// publishes. Ingestion-only changes never reach this path — base
+	// sub-shards are immutable under the delta overlay, so warm blocks
+	// survive edge ingest and only a real store swap evicts them.
+	oldGen := e.bcGen
+	e.bcGen = blockcache.NextGeneration()
+	e.bind(ng)
 	e.graph.Store(ng)
+	if e.cache != nil {
+		e.cache.InvalidateGeneration(oldGen)
+	}
 	os.RemoveAll(prev)
 	s.stats.DeltaPending.Add(-int64(mark))
 
@@ -200,13 +213,15 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 // reopenLocked restores the entry's graph from its directory after a
 // failed swap. Caller holds runMu. If even the reopen fails the entry
 // is marked closed: jobs fail fast instead of touching a dead store.
+// The block-cache generation is kept: the rollback restored the same
+// store content, so cached blocks remain valid.
 func (e *graphEntry) reopenLocked() error {
 	g, err := nxgraph.Open(e.dir, e.opt)
 	if err != nil {
 		e.closed = true
 		return fmt.Errorf("server: graph %q unrecoverable after failed compaction swap: %w", e.name, err)
 	}
-	e.installOverlay(g)
+	e.bind(g)
 	e.graph.Store(g)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/dynamic"
 	"nxgraph/internal/engine"
 	"nxgraph/internal/metrics"
@@ -42,6 +43,14 @@ type graphEntry struct {
 	graph  atomic.Pointer[nxgraph.Graph]
 	opt    nxgraph.Options
 	opened time.Time
+
+	// cache is the server's shared sub-shard block cache; bcGen is the
+	// store generation this entry's current store is keyed under. A
+	// compaction swap allocates a fresh generation for the rebuilt store
+	// and invalidates the old one under runMu, so a block decoded from
+	// the retired store (now dsss.prev) can never be served again.
+	cache *blockcache.Cache
+	bcGen uint64
 
 	// deltaMu guards delta and deltaClosed (the pointer and flag — the
 	// log itself is internally synchronized). The log is created lazily
@@ -97,13 +106,15 @@ type registry struct {
 	dirs   map[string]string // canonical store dir -> graph name
 	seq    int64             // uid generator
 	stats  *metrics.ServerStats
+	cache  *blockcache.Cache // shared block cache handed to every entry
 }
 
-func newRegistry(stats *metrics.ServerStats) *registry {
+func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache) *registry {
 	return &registry{
 		graphs: make(map[string]*graphEntry),
 		dirs:   make(map[string]string),
 		stats:  stats,
+		cache:  cache,
 	}
 }
 
@@ -143,7 +154,9 @@ func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, err
 		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
 	}
 	e := &graphEntry{name: name, dir: dir, opt: opt, opened: time.Now(), stats: r.stats}
-	e.installOverlay(g)
+	e.cache = r.cache
+	e.bcGen = blockcache.NextGeneration()
+	e.bind(g)
 	e.graph.Store(g)
 	r.mu.Lock()
 	if err := check(); err != nil {
@@ -192,6 +205,16 @@ func (r *registry) list() []GraphInfo {
 // stable for the caller's use, but long operations that must not span a
 // compaction swap (engine runs) additionally hold runMu.
 func (e *graphEntry) live() *nxgraph.Graph { return e.graph.Load() }
+
+// bind wires a freshly opened graph to the entry's serving state: the
+// delta-overlay provider and the shared block cache under the entry's
+// current store generation.
+func (e *graphEntry) bind(g *nxgraph.Graph) {
+	e.installOverlay(g)
+	if e.cache != nil {
+		g.Engine().SetBlockCache(e.cache, e.bcGen)
+	}
+}
 
 // installOverlay binds g's engine to the entry's delta log, so every
 // run snapshots the deltas pending at its start.
@@ -318,6 +341,11 @@ func (r *registry) closeEntry(e *graphEntry) error {
 	e.runMu.Unlock()
 	e.closeDeltas()
 	err := e.live().Close()
+	if e.cache != nil {
+		// No run can start on a closed entry, so the generation's blocks
+		// are unreachable: free their budget share now.
+		e.cache.InvalidateGeneration(e.bcGen)
+	}
 	r.mu.Lock()
 	delete(r.dirs, canonDir(e.dir))
 	r.mu.Unlock()
@@ -343,6 +371,9 @@ func (r *registry) closeAll() {
 		e.runMu.Unlock()
 		e.closeDeltas()
 		e.live().Close()
+		if e.cache != nil {
+			e.cache.InvalidateGeneration(e.bcGen)
+		}
 	}
 	r.mu.Lock()
 	r.dirs = make(map[string]string)

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/metrics"
 )
 
@@ -33,6 +34,11 @@ type Config struct {
 	// negative disables auto-compaction — manual POST .../compact still
 	// works).
 	DeltaThreshold int
+	// BlockCacheBytes bounds the process-wide sub-shard block cache
+	// shared by every registered graph: 0 means the 256 MiB default,
+	// negative disables caching (blocks live only while pinned by a
+	// running iteration).
+	BlockCacheBytes int64
 	// GraphOptions is applied when opening graphs via the API.
 	GraphOptions nxgraph.Options
 }
@@ -53,12 +59,13 @@ type Config struct {
 //	POST   /v1/jobs/{id}/cancel       request cancellation
 //	GET    /metrics                   Prometheus text metrics
 type Server struct {
-	cfg   Config
-	reg   *registry
-	sched *scheduler
-	cache *resultCache
-	stats *metrics.ServerStats
-	mux   *http.ServeMux
+	cfg    Config
+	reg    *registry
+	sched  *scheduler
+	cache  *resultCache
+	blocks *blockcache.Cache // shared sub-shard block cache
+	stats  *metrics.ServerStats
+	mux    *http.ServeMux
 }
 
 // New creates a Server with started workers. Call Close to shut it down.
@@ -66,21 +73,33 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 256 << 20
 	}
+	blockBudget := cfg.BlockCacheBytes
+	switch {
+	case blockBudget == 0:
+		blockBudget = 256 << 20
+	case blockBudget < 0:
+		blockBudget = 0 // pins only: caching disabled
+	}
 	// A negative budget flows through to the cache, where every result
 	// exceeds it and nothing is stored — caching disabled.
 	stats := &metrics.ServerStats{}
 	cache := newResultCache(cfg.CacheBytes, stats)
+	blocks := blockcache.New(blockBudget)
 	s := &Server{
-		cfg:   cfg,
-		reg:   newRegistry(stats),
-		sched: newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.RetainBytes, cache, stats),
-		cache: cache,
-		stats: stats,
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		reg:    newRegistry(stats, blocks),
+		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.RetainBytes, cache, stats),
+		cache:  cache,
+		blocks: blocks,
+		stats:  stats,
+		mux:    http.NewServeMux(),
 	}
 	s.routes()
 	return s
 }
+
+// BlockCacheStats returns the shared block cache counters.
+func (s *Server) BlockCacheStats() blockcache.Stats { return s.blocks.Stats() }
 
 // Stats exposes the server's metric counters.
 func (s *Server) Stats() *metrics.ServerStats { return s.stats }
@@ -390,4 +409,5 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.stats.WritePrometheus(w)
+	metrics.WriteBlockCachePrometheus(w, s.blocks.Stats())
 }

@@ -153,6 +153,16 @@ type SubShard struct {
 // NumEdges returns the edge count of the sub-shard.
 func (ss *SubShard) NumEdges() int { return len(ss.Srcs) }
 
+// MemBytes returns the decoded in-memory footprint of the sub-shard's
+// arrays — the unit the shared block cache budgets.
+func (ss *SubShard) MemBytes() int64 {
+	b := int64(len(ss.Dsts)+len(ss.Offsets)+len(ss.Srcs)) * 4
+	if ss.Weights != nil {
+		b += int64(len(ss.Weights)) * 4
+	}
+	return b
+}
+
 // NumDsts returns the number of distinct destination vertices.
 func (ss *SubShard) NumDsts() int { return len(ss.Dsts) }
 

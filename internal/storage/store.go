@@ -128,25 +128,6 @@ func (s *Store) ReadSubShard(i, j int, transpose bool) (*SubShard, error) {
 	return ss, nil
 }
 
-// LoadAllSubShards reads every sub-shard into memory, indexed [i*P+j]
-// (row-major for natural SS[i][j] access). Used by SPU when the memory
-// budget admits the whole edge set.
-func (s *Store) LoadAllSubShards(transpose bool) ([]*SubShard, error) {
-	P := s.meta.P
-	all := make([]*SubShard, P*P)
-	// Read in physical (row-major) order for sequential I/O.
-	for i := 0; i < P; i++ {
-		for j := 0; j < P; j++ {
-			ss, err := s.ReadSubShard(i, j, transpose)
-			if err != nil {
-				return nil, err
-			}
-			all[i*P+j] = ss
-		}
-	}
-	return all, nil
-}
-
 // Degrees reads the degree file: out-degrees then in-degrees, each n
 // uint32s.
 func (s *Store) Degrees() (out, in []uint32, err error) {

@@ -41,6 +41,7 @@ import (
 	"os"
 
 	"nxgraph/internal/algorithms"
+	"nxgraph/internal/blockcache"
 	"nxgraph/internal/diskio"
 	"nxgraph/internal/engine"
 	"nxgraph/internal/gen"
@@ -70,6 +71,9 @@ type (
 	// ProgressFunc observes per-iteration progress of the *Context
 	// algorithm variants. Called synchronously; must be cheap.
 	ProgressFunc = engine.ProgressFunc
+	// CacheStats is a snapshot of the sub-shard block cache counters
+	// (see Graph.CacheStats and Options.CacheBytes).
+	CacheStats = blockcache.Stats
 )
 
 // Disk profiles for Options.Profile.
@@ -107,6 +111,11 @@ type Options struct {
 	// MemoryBudget is BM in bytes; 0 means unlimited (SPU with all
 	// sub-shards cached).
 	MemoryBudget int64
+	// CacheBytes budgets the graph's decoded sub-shard block cache,
+	// shared by every run on the graph: 0 derives the budget from
+	// MemoryBudget (unlimited when MemoryBudget is 0), a positive value
+	// sets it in bytes, and a negative value disables caching.
+	CacheBytes int64
 	// Strategy overrides adaptive strategy selection.
 	Strategy Strategy
 	// LockSync switches worker synchronization from conflict-free
@@ -143,6 +152,7 @@ func (o Options) engineConfig() engine.Config {
 	return engine.Config{
 		Threads:      o.Threads,
 		MemoryBudget: o.MemoryBudget,
+		CacheBytes:   o.CacheBytes,
 		Strategy:     o.Strategy,
 		Sync:         sync,
 	}
@@ -253,6 +263,10 @@ func (g *Graph) Degrees() (out, in []uint32, err error) { return g.store.Degrees
 func (g *Graph) IOStats() diskio.StatsSnapshot {
 	return g.store.Disk().Stats().Snapshot()
 }
+
+// CacheStats returns the graph's sub-shard block cache counters (hits,
+// misses, evictions, resident and pinned bytes).
+func (g *Graph) CacheStats() CacheStats { return g.engine.CacheStats() }
 
 // PageRank runs iters power iterations with the given damping and
 // returns per-vertex ranks summing to 1.
