@@ -7,6 +7,7 @@
 //
 //	nxbench -exp all
 //	nxbench -exp table4,fig7 -scale-delta -2 -threads 8
+//	nxbench -exp none -trace
 package main
 
 import (
@@ -21,13 +22,14 @@ import (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated: table2,fig6,table4,fig7,fig8,fig9,fig10,fig11,fig12,table5,table6 or 'all'")
+		exps       = flag.String("exp", "all", "comma-separated: table2,fig6,table4,fig7,fig8,fig9,fig10,fig11,fig12,table5,table6, 'all', or 'none' (with -trace)")
 		scaleDelta = flag.Int("scale-delta", 0, "dataset scale adjustment (negative shrinks)")
 		threads    = flag.Int("threads", 4, "worker threads")
 		iters      = flag.Int("iters", 10, "PageRank iterations")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		cacheMB    = flag.Int("cache-mb", -1, "sub-shard block cache budget in MiB per engine (-1 = derive from each experiment's budget, 0 = disable)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
+		showTrace  = flag.Bool("trace", false, "run a traced PageRank and print its per-iteration compute-vs-stall breakdown")
 	)
 	flag.Parse()
 
@@ -95,6 +97,9 @@ func main() {
 	}
 	if sel("table6") {
 		show(s.Table6())
+	}
+	if *showTrace {
+		show(s.TraceRun())
 	}
 	if sum := s.CacheSummary(); sum != "" {
 		fmt.Println(sum)

@@ -5,6 +5,7 @@
 //	nxrun -store /data/mygraph -algo pagerank -iters 10
 //	nxrun -store /data/mygraph -algo bfs -root 0
 //	nxrun -store /data/mygraph -algo scc -strategy dpu -mem 1GiB
+//	nxrun -store /data/mygraph -algo pagerank -trace
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		lockSync = flag.Bool("lock", false, "use interval-lock sync instead of callback")
 		profile  = flag.String("disk", "none", "simulated disk: none | ssd | hdd")
 		topk     = flag.Int("top", 10, "print top-K vertices (pagerank, hits)")
+		showTr   = flag.Bool("trace", false, "print per-iteration compute-vs-stall breakdown")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -88,6 +90,9 @@ func main() {
 			res.IO.BytesRead, res.IO.BytesWritten)
 		if sum := g.CacheStats().Summary(); sum != "" {
 			fmt.Printf("%s, %s resident\n", sum, metrics.Bytes(g.CacheStats().ResidentBytes))
+		}
+		if *showTr && res.Trace != nil {
+			metrics.StepTable("per-iteration trace", res.Trace.Steps()).Render(os.Stdout)
 		}
 	}
 	printTop := func(vals []float64, label string) {

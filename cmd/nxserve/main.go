@@ -1,13 +1,14 @@
 // nxserve serves graph algorithms over preprocessed DSSS stores through
 // an HTTP/JSON API: an async job scheduler with a bounded worker pool,
 // cooperative cancellation, an LRU result cache, online edge ingestion
-// with delta-overlay serving and background compaction, and Prometheus
-// metrics.
+// with delta-overlay serving and background compaction, Prometheus
+// metrics, per-job run traces, and structured logging.
 //
 // Usage:
 //
 //	nxserve -listen :8080 -graph social=/data/social -graph web=/data/web
 //	nxserve -listen :8080 -workers 4 -cache 512MiB -cache-mb 1024 -delta-threshold 16384
+//	nxserve -listen :8080 -log-format json -log-level debug
 //
 // Graphs can also be opened — and mutated — at runtime:
 //
@@ -17,23 +18,28 @@
 //	curl -X POST localhost:8080/v1/graphs/g/compact
 //	curl localhost:8080/v1/jobs/j-00000001
 //	curl 'localhost:8080/v1/jobs/j-00000001/result?top=10'
+//	curl localhost:8080/v1/jobs/j-00000001/trace
 //	curl -X POST localhost:8080/v1/jobs/j-00000001/cancel
 //	curl localhost:8080/metrics
+//	curl localhost:8080/healthz
+//	curl localhost:8080/debug/pprof/
 //
-// On SIGINT/SIGTERM the server shuts down gracefully: the listener stops
-// accepting, in-flight HTTP requests get a grace period to finish, then
-// the scheduler cancels remaining jobs, drains its workers and closes
-// every graph. A second signal forces immediate exit.
+// On SIGINT/SIGTERM the server shuts down gracefully: readiness drops,
+// the listener stops accepting, in-flight HTTP requests get a grace
+// period to finish, then the scheduler cancels remaining jobs, drains
+// its workers and closes every graph. A second signal forces immediate
+// exit.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
@@ -57,6 +63,51 @@ func (g *graphFlags) Set(s string) error {
 	return nil
 }
 
+// newLogger builds the process logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// buildVersion labels nxserve_build_info from the module build info
+// stamped by the go tool (VCS revision when built from a checkout).
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return bi.Main.Version
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}
+
 func main() {
 	var graphs graphFlags
 	var (
@@ -69,9 +120,18 @@ func main() {
 		threads   = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
 		deltaThr  = flag.Int("delta-threshold", 0, "pending deltas that trigger auto-compaction (0 = default 8192, negative disables)")
 		graceSecs = flag.Int("grace", 10, "seconds to drain in-flight HTTP requests on shutdown")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Var(&graphs, "graph", "preload a store: name=dir (repeatable)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxserve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	cacheBytes, err := metrics.ParseBytes(*cache)
 	if err != nil {
@@ -98,6 +158,8 @@ func main() {
 		BlockCacheBytes: blockBytes,
 		DeltaThreshold:  *deltaThr,
 		GraphOptions:    nxgraph.Options{Threads: *threads, MemoryBudget: budget},
+		Logger:          logger,
+		Version:         buildVersion(),
 	})
 	for _, g := range graphs {
 		if err := srv.OpenGraph(g.name, g.dir, nxgraph.Options{Threads: *threads, MemoryBudget: budget}); err != nil {
@@ -105,13 +167,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "nxserve:", err)
 			os.Exit(1)
 		}
-		log.Printf("opened graph %q from %s", g.name, g.dir)
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("nxserve listening on %s (%d workers, %s cache)", *listen, *workers, *cache)
+		logger.Info("nxserve listening",
+			"addr", *listen,
+			"workers", *workers,
+			"result_cache", *cache,
+			"block_cache_mb", *cacheMB,
+			"version", buildVersion(),
+		)
 		serveErr <- httpSrv.ListenAndServe()
 	}()
 
@@ -120,17 +187,18 @@ func main() {
 	select {
 	case err := <-serveErr:
 		// Listener died (bad address, port in use, ...): release graphs
-		// and report, instead of log.Fatal'ing past the cleanup.
+		// and report, instead of exiting past the cleanup.
 		srv.Close()
-		log.Fatalf("nxserve: %v", err)
+		logger.Error("nxserve exiting", "error", err.Error())
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("received %v, shutting down (grace %ds)", s, *graceSecs)
+		logger.Info("shutdown signal received", "signal", s.String(), "grace_s", *graceSecs)
 	}
 
 	// Force exit on a second signal while draining.
 	go func() {
 		s := <-sig
-		log.Printf("received %v again, exiting immediately", s)
+		logger.Warn("second signal, exiting immediately", "signal", s.String())
 		os.Exit(1)
 	}()
 
@@ -138,11 +206,11 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*graceSecs)*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("nxserve: http drain: %v", err)
+		logger.Warn("http drain incomplete", "error", err.Error())
 	}
 	// Phase 2: cancel remaining jobs, drain scheduler workers, close
 	// graphs. Cancellation propagates into the engine at sub-shard-batch
 	// boundaries, so this returns promptly even mid-iteration.
 	srv.Close()
-	log.Print("nxserve: shutdown complete")
+	logger.Info("shutdown complete")
 }

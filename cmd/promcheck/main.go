@@ -1,0 +1,26 @@
+// promcheck validates Prometheus text exposition format on stdin: HELP
+// and TYPE metadata placement, metric and label name syntax, label
+// escaping, and histogram invariants (ascending le, cumulative counts,
+// terminal +Inf matching _count). Exit status 0 means valid. CI pipes
+// nxserve's /metrics output through it to catch malformed exposition
+// before a real scraper does.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nxgraph/internal/metrics"
+)
+
+func main() {
+	if err := metrics.ValidateExposition(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: exposition OK")
+}

@@ -148,12 +148,23 @@ func TestWarmRunZeroBaseReads(t *testing.T) {
 // cache and reports the disk bytes read per run — the headline number is
 // that diskReadB/op stays 0.
 func BenchmarkWarmCachePageRank(b *testing.B) {
+	benchWarmCachePageRank(b, 0)
+}
+
+// BenchmarkWarmCachePageRankNoTrace is the same workload with run
+// tracing disabled — comparing against BenchmarkWarmCachePageRank bounds
+// the tracer's overhead (the acceptance bar is ≤ 2%).
+func BenchmarkWarmCachePageRankNoTrace(b *testing.B) {
+	benchWarmCachePageRank(b, -1)
+}
+
+func benchWarmCachePageRank(b *testing.B, traceSpans int) {
 	g, err := gen.RMAT(gen.DefaultRMAT(13, 12, 77))
 	if err != nil {
 		b.Fatal(err)
 	}
 	st, _ := testutil.BuildStore(b, g, testutil.StoreOptions{P: 8})
-	e, err := engine.New(st, engine.Config{Threads: 2})
+	e, err := engine.New(st, engine.Config{Threads: 2, TraceSpans: traceSpans})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"nxgraph/internal/blockcache"
 	"nxgraph/internal/diskio"
 	"nxgraph/internal/storage"
+	"nxgraph/internal/trace"
 )
 
 // Strategy identifies an update strategy (paper §III-B).
@@ -113,6 +114,11 @@ type Config struct {
 	// negative value disables caching — blocks are held only while
 	// pinned by the running iteration's prefetch pipeline.
 	CacheBytes int64
+	// TraceSpans bounds each run's span ring buffer (see internal/trace):
+	// 0 selects trace.DefaultCapacity, a positive value sets the bound,
+	// and a negative value disables run tracing entirely (Result.Trace is
+	// then nil and instrumentation costs nothing).
+	TraceSpans int
 }
 
 // cacheBudget resolves CacheBytes against MemoryBudget for a graph of n
@@ -250,6 +256,9 @@ type Result struct {
 	IO diskio.StatsSnapshot
 	// Elapsed is wall-clock run time.
 	Elapsed time.Duration
+	// Trace is the run's span timeline and per-iteration stage stats,
+	// nil when tracing is disabled (Config.TraceSpans < 0).
+	Trace *trace.Trace
 }
 
 // MTEPS returns millions of traversed edges per second.

@@ -1,8 +1,12 @@
 package engine
 
 import (
+	"strconv"
+	"sync"
+
 	"nxgraph/internal/blockcache"
 	"nxgraph/internal/storage"
+	"nxgraph/internal/trace"
 )
 
 // This file is the engine's read path: every sub-shard consumed by a
@@ -21,21 +25,171 @@ type cellID struct {
 	flat    bool
 }
 
-// getBlock pins cell c's decoded block, loading it from the store on a
-// cache miss.
-func (r *Run) getBlock(c cellID) (*blockcache.Handle, error) {
+// spanNames interns span label strings across runs: block labels keyed
+// by cellID, indexed labels (iter-3, row-0, ...) by nameKey. The label
+// space is bounded — P² cells per store shape, small indices — so the
+// map stays tiny while the traced read path stops allocating a fresh
+// string per block acquisition.
+var spanNames sync.Map
+
+type nameKey struct {
+	prefix string
+	n      int
+}
+
+// spanName returns the interned prefix+itoa(n) label. Large indices
+// (very long runs) skip interning so the map cannot grow without bound.
+func spanName(prefix string, n int) string {
+	if n >= 4096 {
+		return prefix + strconv.Itoa(n)
+	}
+	k := nameKey{prefix, n}
+	if v, ok := spanNames.Load(k); ok {
+		return v.(string)
+	}
+	s := prefix + strconv.Itoa(n)
+	spanNames.Store(k, s)
+	return s
+}
+
+// name renders the cell for span labels: f/t for forward/transpose, *
+// for the flat ablation form. Interned — this runs once per block
+// acquisition on the traced read path.
+func (c cellID) name() string {
+	if v, ok := spanNames.Load(c); ok {
+		return v.(string)
+	}
+	p := "f"
+	if c.d == 1 {
+		p = "t"
+	}
+	if c.flat {
+		p += "*"
+	}
+	s := p + "[" + strconv.Itoa(c.i) + "," + strconv.Itoa(c.j) + "]"
+	spanNames.Store(c, s)
+	return s
+}
+
+// loadBlock pins cell c's decoded block through the shared cache,
+// reporting whether the pin was a true miss and, if so, the decoded
+// size. All read paths (traced or not) funnel through here.
+func (r *Run) loadBlock(c cellID) (h *blockcache.Handle, missed bool, decoded int64, err error) {
 	key := blockcache.Key{Gen: r.e.cacheGen, I: c.i, J: c.j, Transpose: c.d == 1, Flat: c.flat}
-	return r.e.cache.Get(key, func() (any, int64, error) {
+	h, err = r.e.cache.Get(key, func() (any, int64, error) {
+		// The cache's single-flight load: this closure runs only on a
+		// true miss, so reaching it is exactly what Stats counts as one.
+		missed = true
 		ss, err := r.e.store.ReadSubShard(c.i, c.j, c.d == 1)
 		if err != nil {
 			return nil, 0, err
 		}
 		if c.flat {
 			fl := toSrcSorted(ss)
-			return fl, fl.memBytes(), nil
+			decoded = fl.memBytes()
+			return fl, decoded, nil
 		}
-		return ss, ss.MemBytes(), nil
+		decoded = ss.MemBytes()
+		return ss, decoded, nil
 	})
+	return
+}
+
+// getBlock pins cell c's block with an individually recorded block-load
+// span. It serves the step loop's batchBlock fallbacks — rare,
+// unplanned loads — so the trace counters it touches are atomics.
+func (r *Run) getBlock(c cellID) (*blockcache.Handle, error) {
+	var sp trace.Span
+	if r.tr != nil {
+		sp = r.tr.Start(trace.KindBlockLoad, c.name(), r.iterSpanID.Load())
+	}
+	h, missed, decoded, err := r.loadBlock(c)
+	if r.tr != nil {
+		if err == nil {
+			if missed {
+				sp.Tag = trace.TagMiss
+				sp.Bytes = decoded
+				r.iterMisses.Add(1)
+			} else {
+				sp.Tag = trace.TagHit
+				r.iterHits.Add(1)
+			}
+		}
+		r.tr.End(sp)
+	}
+	return h, err
+}
+
+// fetchTrace buffers one fetch goroutine's trace output. Misses keep
+// individual spans — they carry decoded bytes and real disk latency —
+// but hits coalesce into a single counted span per batch: a warm batch
+// is nothing but hits, and materializing a ~0µs span per hit costs more
+// in stores and ring churn than the information is worth.
+type fetchTrace struct {
+	spans    []trace.Span
+	hits     int64
+	misses   int64
+	firstNS  int64 // Clock offset of the batch's first hit
+	hitDurNS int64 // summed duration of the batch's hits
+}
+
+// getBlockBatched is the fetch goroutine's traced load: it samples the
+// trace clock around loadBlock and folds the result into ft, deferring
+// all recording and counter updates to flushFetchTrace.
+func (r *Run) getBlockBatched(c cellID, ft *fetchTrace) (*blockcache.Handle, error) {
+	began := r.tr.Clock()
+	h, missed, decoded, err := r.loadBlock(c)
+	if err != nil {
+		return h, err
+	}
+	dur := r.tr.Clock() - began
+	if missed {
+		sp := r.tr.Make(trace.KindBlockLoad, c.name(), r.iterSpanID.Load(), began, dur)
+		sp.Tag = trace.TagMiss
+		sp.Bytes = decoded
+		ft.spans = append(ft.spans, sp)
+		ft.misses++
+	} else {
+		if ft.hits == 0 {
+			ft.firstNS = began
+		}
+		ft.hits++
+		ft.hitDurNS += dur
+	}
+	return h, nil
+}
+
+// flushFetchTrace records a batch's buffered spans — one coalesced hit
+// span plus any miss spans — under a single trace lock, and settles the
+// iteration's hit/miss counters with one atomic RMW each.
+func (r *Run) flushFetchTrace(ft *fetchTrace) {
+	if ft.hits > 0 {
+		sp := r.tr.Make(trace.KindBlockLoad, "hits", r.iterSpanID.Load(), ft.firstNS, ft.hitDurNS)
+		sp.Tag = trace.TagHit
+		sp.Count = ft.hits
+		ft.spans = append(ft.spans, sp)
+	}
+	r.tr.Record(ft.spans)
+	if ft.hits != 0 {
+		r.iterHits.Add(ft.hits)
+	}
+	if ft.misses != 0 {
+		r.iterMisses.Add(ft.misses)
+	}
+}
+
+// waitBatch blocks on a phase batch's prefetch, recording the blocked
+// time as a fetch-batch span and charging it to the iteration's
+// prefetch-stall total. Only the step loop calls it, so stallNS needs no
+// synchronization.
+func (r *Run) waitBatch(b *fetchBatch, phase string, id int) error {
+	if r.tr == nil {
+		return b.wait()
+	}
+	sp := r.tr.Start(trace.KindFetchBatch, spanName(phase, id), r.iterSpanID.Load())
+	err := b.wait()
+	r.stallNS += int64(r.tr.End(sp))
+	return err
 }
 
 // fetchBatch holds the pinned blocks of one phase batch (a row of the
@@ -72,8 +226,19 @@ func (r *Run) startFetch(cells []cellID) *fetchBatch {
 	}
 	go func() {
 		defer close(b.done)
+		var ft *fetchTrace
+		if r.tr != nil {
+			ft = &fetchTrace{}
+			defer func() { r.flushFetchTrace(ft) }()
+		}
 		for _, c := range cells {
-			h, err := r.getBlock(c)
+			var h *blockcache.Handle
+			var err error
+			if ft != nil {
+				h, err = r.getBlockBatched(c, ft)
+			} else {
+				h, _, _, err = r.loadBlock(c)
+			}
 			if err != nil {
 				b.err = err
 				return

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nxgraph/internal/bitset"
 	"nxgraph/internal/diskio"
 	"nxgraph/internal/storage"
+	"nxgraph/internal/trace"
 )
 
 // Run is one program execution in progress. It exposes iteration-level
@@ -81,6 +83,20 @@ type Run struct {
 
 	startIO diskio.StatsSnapshot
 	started time.Time
+
+	// tr records the run's span timeline (nil when Config.TraceSpans is
+	// negative — every instrumentation call below is then inert).
+	// iterSpanID is the current iteration's span, read by the prefetch
+	// goroutines to parent their block-load spans; iterHits/iterMisses
+	// count block acquisitions from those goroutines. stallNS accumulates
+	// fetch-batch wait time and is touched only by the step loop.
+	tr         *trace.Trace
+	runSpan    trace.Span
+	runEnded   bool
+	iterSpanID atomic.Uint64
+	iterHits   atomic.Int64
+	iterMisses atomic.Int64
+	stallNS    int64
 }
 
 // NewRun initializes a run of p over the engine's store in direction dir.
@@ -105,8 +121,17 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 		started: time.Now(),
 		startIO: e.store.Disk().Stats().Snapshot(),
 	}
+	if e.cfg.TraceSpans >= 0 {
+		r.tr = trace.New(e.cfg.TraceSpans)
+		r.runSpan = r.tr.Start(trace.KindRun, p.Name(), 0)
+		r.iterSpanID.Store(r.runSpan.ID)
+	}
+	osp := r.tr.Start(trace.KindOverlay, "overlay-snapshot", r.runSpan.ID)
 	if err := r.initOverlay(); err != nil {
 		return nil, err
+	}
+	if r.ov != nil {
+		r.tr.End(osp)
 	}
 	if a, ok := p.(GlobalAggregator); ok {
 		r.agg = a
@@ -377,12 +402,19 @@ func (r *Run) Close() {
 	}
 }
 
+// Trace returns the run's trace, nil when tracing is disabled.
+func (r *Run) Trace() *trace.Trace { return r.tr }
+
 // Finish assembles the Result (final attributes plus counters). The run
 // remains usable afterwards.
 func (r *Run) Finish() (*Result, error) {
 	attrs, err := r.Attrs()
 	if err != nil {
 		return nil, err
+	}
+	if r.tr != nil && !r.runEnded {
+		r.runEnded = true
+		r.tr.End(r.runSpan)
 	}
 	return &Result{
 		Attrs:             attrs,
@@ -392,5 +424,6 @@ func (r *Run) Finish() (*Result, error) {
 		EdgesTraversed:    r.edges,
 		IO:                r.e.store.Disk().Stats().Snapshot().Sub(r.startIO),
 		Elapsed:           time.Since(r.started),
+		Trace:             r.tr,
 	}, nil
 }

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"nxgraph/internal/diskio"
 	"nxgraph/internal/storage"
+	"nxgraph/internal/trace"
 )
 
 // Step executes one iteration (Algorithm 1's repeat body). It returns
@@ -57,6 +60,21 @@ func (r *Run) step() (bool, error) {
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
 	dirs := r.dirsUsed()
+
+	// Open the iteration span and reset the per-iteration counters the
+	// prefetch goroutines and batch waits accumulate into.
+	var iterSpan trace.Span
+	var iterIO diskio.StatsSnapshot
+	var edges0 int64
+	if r.tr != nil {
+		iterSpan = r.tr.Start(trace.KindIteration, spanName("iter-", r.iter), r.runSpan.ID)
+		r.iterSpanID.Store(iterSpan.ID)
+		r.iterHits.Store(0)
+		r.iterMisses.Store(0)
+		r.stallNS = 0
+		iterIO = r.e.store.Disk().Stats().Snapshot()
+		edges0 = r.edges
+	}
 
 	// InitializeIteration: zero the resident accumulators.
 	zero := r.p.Zero()
@@ -148,13 +166,37 @@ func (r *Run) step() (bool, error) {
 	}
 
 	// Apply phase for resident intervals, then ping-pong swap.
+	applySpan := r.tr.Start(trace.KindApply, "apply-resident", iterSpan.ID)
 	if err := r.applyResident(activeNext); err != nil {
 		return false, err
 	}
+	r.tr.End(applySpan)
 	r.curr, r.next = r.next, r.curr
 	copy(r.active, activeNext)
 	r.iter++
 	r.notifyProgress(activeNext)
+
+	if r.tr != nil {
+		dur := r.tr.End(iterSpan)
+		io := r.e.store.Disk().Stats().Snapshot().Sub(iterIO)
+		stall := time.Duration(r.stallNS)
+		compute := dur - stall
+		if compute < 0 {
+			compute = 0
+		}
+		r.tr.AddStep(trace.StepStats{
+			Iteration:    r.iter - 1,
+			Edges:        r.edges - edges0,
+			BlocksHit:    r.iterHits.Load(),
+			BlocksMiss:   r.iterMisses.Load(),
+			BytesRead:    io.BytesRead,
+			BytesWritten: io.BytesWritten,
+			StallUS:      stall.Microseconds(),
+			ComputeUS:    compute.Microseconds(),
+			DurUS:        dur.Microseconds(),
+		})
+		r.iterSpanID.Store(r.runSpan.ID)
+	}
 	return true, nil
 }
 
@@ -178,8 +220,12 @@ func (r *Run) subShardInfosFor(d int) []storage.SubShardInfo {
 // separated by barriers — see the scheduling comment below.
 func (r *Run) processRow(i int, src view, dirs []int, blocks *fetchBatch) error {
 	defer blocks.release()
-	if err := blocks.wait(); err != nil {
+	if err := r.waitBatch(blocks, "row-", i); err != nil {
 		return err
+	}
+	if r.tr != nil {
+		gsp := r.tr.Start(trace.KindGather, spanName("row-", i), r.iterSpanID.Load())
+		defer r.tr.End(gsp)
 	}
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
@@ -379,8 +425,12 @@ func (r *Run) columnTouched(j int, dirs []int) bool {
 // blocks is the column's prefetched batch; processColumn owns it.
 func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch) (bool, error) {
 	defer blocks.release()
-	if err := blocks.wait(); err != nil {
+	if err := r.waitBatch(blocks, "col-", j); err != nil {
 		return false, err
+	}
+	if r.tr != nil {
+		gsp := r.tr.Start(trace.KindGather, spanName("col-", j), r.iterSpanID.Load())
+		defer r.tr.End(gsp)
 	}
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q

@@ -1,0 +1,296 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a validating parser for the Prometheus text exposition
+// format (version 0.0.4) — the contract the /metrics endpoint promises.
+// It exists because we hand-render the exposition instead of depending
+// on a client library: ValidateExposition is the test (and CI smoke
+// check, via cmd/promcheck) that keeps the hand-rendering honest. It
+// checks structure, not values: metric-name and label syntax, HELP/TYPE
+// placement, label-value escaping, and histogram shape (le bounds
+// strictly ascending, bucket counts cumulative, a terminal +Inf bucket
+// agreeing with _count).
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// sample is one parsed exposition line: name{labels} value.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// expoState tracks one metric family while scanning.
+type expoState struct {
+	typ     string
+	helped  bool
+	samples []sample
+}
+
+// ValidateExposition reads a complete text exposition and returns the
+// first format violation found, or nil if the payload is well-formed.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	families := map[string]*expoState{}
+	order := []string{}
+	family := func(name string) *expoState {
+		if f, ok := families[name]; ok {
+			return f
+		}
+		f := &expoState{}
+		families[name] = f
+		order = append(order, name)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !metricNameRe.MatchString(name) {
+				return fmt.Errorf("line %d: HELP for invalid metric name %q", lineNo, name)
+			}
+			f := family(name)
+			if len(f.samples) > 0 {
+				return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, name)
+			}
+			if f.helped {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			f.helped = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := family(name)
+			if len(f.samples) > 0 {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line, lineNo)
+		if err != nil {
+			return err
+		}
+		fam := s.name
+		// Histogram series attach to their family name.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.name, suffix)
+			if base != s.name {
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					fam = base
+				}
+				break
+			}
+		}
+		family(fam).samples = append(family(fam).samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	for _, name := range order {
+		f := families[name]
+		if len(f.samples) == 0 {
+			return fmt.Errorf("metric %s has HELP/TYPE but no samples", name)
+		}
+		if f.typ == "histogram" {
+			if err := validateHistogram(name, f.samples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{l1="v1",...} value` (labels optional).
+func parseSample(line string, lineNo int) (sample, error) {
+	s := sample{line: lineNo, labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("line %d: no value on sample line %q", lineNo, line)
+	}
+	s.name = rest[:i]
+	if !metricNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.labels)
+		if err != nil {
+			return s, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		rest = rest[end:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return s, fmt.Errorf("line %d: missing sample value", lineNo)
+	}
+	// Timestamps (a second field) are permitted by the format.
+	valStr, _, _ = strings.Cut(valStr, " ")
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("line %d: bad sample value %q", lineNo, valStr)
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels parses a `{name="value",...}` block starting at in[0] == '{'
+// and returns the index one past the closing brace. Escapes \\, \" and
+// \n are honoured in values.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(in) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		name := in[i : i+eq]
+		if !labelNameRe.MatchString(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: invalid escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = val.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+// validateHistogram checks one histogram family's series: le bounds
+// strictly ascending, cumulative bucket counts, a terminal +Inf bucket,
+// and _count both present and equal to the +Inf bucket.
+func validateHistogram(name string, samples []sample) error {
+	var prevLE = math.Inf(-1)
+	var prevCount = math.Inf(-1)
+	var infCount = math.NaN()
+	var count = math.NaN()
+	sawSum := false
+	for _, s := range samples {
+		switch s.name {
+		case name + "_bucket":
+			leStr, ok := s.labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket without le label", s.line, name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q", s.line, leStr)
+			}
+			if le <= prevLE {
+				return fmt.Errorf("line %d: %s le %q not ascending", s.line, name, leStr)
+			}
+			if prevCount != math.Inf(-1) && s.value < prevCount {
+				return fmt.Errorf("line %d: %s bucket counts not cumulative", s.line, name)
+			}
+			prevLE, prevCount = le, s.value
+			if math.IsInf(le, +1) {
+				infCount = s.value
+			}
+		case name + "_sum":
+			sawSum = true
+		case name + "_count":
+			count = s.value
+		default:
+			return fmt.Errorf("line %d: unexpected series %s in histogram %s", s.line, s.name, name)
+		}
+	}
+	if math.IsNaN(infCount) {
+		return fmt.Errorf("histogram %s: no +Inf bucket (or buckets after it)", name)
+	}
+	if !math.IsInf(prevLE, +1) {
+		return fmt.Errorf("histogram %s: +Inf bucket is not terminal", name)
+	}
+	if !sawSum {
+		return fmt.Errorf("histogram %s: missing _sum", name)
+	}
+	if math.IsNaN(count) {
+		return fmt.Errorf("histogram %s: missing _count", name)
+	}
+	if count != infCount {
+		return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", name, count, infCount)
+	}
+	return nil
+}

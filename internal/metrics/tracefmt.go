@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"fmt"
+
+	"nxgraph/internal/trace"
+)
+
+// StepTable renders per-iteration trace stats as a compute-vs-stall
+// breakdown table, with a totals row. Percentages guard against
+// zero-duration iterations (trivial graphs on warm caches), printing 0
+// instead of NaN.
+func StepTable(title string, steps []trace.StepStats) *Table {
+	t := NewTable(title,
+		"iter", "edges", "hit", "miss", "read", "compute", "stall", "stall%", "total")
+	var edges, hit, miss, read, compute, stall, dur int64
+	for _, st := range steps {
+		t.AddRow(st.Iteration, st.Edges, st.BlocksHit, st.BlocksMiss,
+			Bytes(st.BytesRead),
+			fmt.Sprintf("%.1fms", float64(st.ComputeUS)/1e3),
+			fmt.Sprintf("%.1fms", float64(st.StallUS)/1e3),
+			fmt.Sprintf("%.1f", pct(st.StallUS, st.DurUS)),
+			fmt.Sprintf("%.1fms", float64(st.DurUS)/1e3))
+		edges += st.Edges
+		hit += st.BlocksHit
+		miss += st.BlocksMiss
+		read += st.BytesRead
+		compute += st.ComputeUS
+		stall += st.StallUS
+		dur += st.DurUS
+	}
+	t.AddRow("total", edges, hit, miss, Bytes(read),
+		fmt.Sprintf("%.1fms", float64(compute)/1e3),
+		fmt.Sprintf("%.1fms", float64(stall)/1e3),
+		fmt.Sprintf("%.1f", pct(stall, dur)),
+		fmt.Sprintf("%.1fms", float64(dur)/1e3))
+	return t
+}
+
+// pct returns part/whole as a percentage, 0 when whole is 0.
+func pct(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

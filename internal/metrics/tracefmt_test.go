@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"nxgraph/internal/trace"
+)
+
+// Zero-duration iterations (trivial graphs on warm caches) must print
+// 0 percent, never NaN or Inf.
+func TestStepTableZeroDuration(t *testing.T) {
+	tbl := StepTable("t", []trace.StepStats{
+		{Iteration: 0, Edges: 10, DurUS: 0, StallUS: 0, ComputeUS: 0},
+	})
+	out := tbl.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("zero-duration step rendered NaN/Inf:\n%s", out)
+	}
+	if tbl.Rows() != 2 { // one step + totals
+		t.Fatalf("rows = %d, want 2", tbl.Rows())
+	}
+}
+
+func TestStepTableTotals(t *testing.T) {
+	tbl := StepTable("t", []trace.StepStats{
+		{Iteration: 0, Edges: 10, BlocksMiss: 4, BytesRead: 1024, StallUS: 500, ComputeUS: 500, DurUS: 1000},
+		{Iteration: 1, Edges: 10, BlocksHit: 4, StallUS: 0, ComputeUS: 250, DurUS: 250},
+	})
+	out := tbl.String()
+	for _, want := range []string{"total", "20", "40.0"} { // edges sum, stall% = 500/1250
+		if !strings.Contains(out, want) {
+			t.Fatalf("totals row missing %q:\n%s", want, out)
+		}
+	}
+}

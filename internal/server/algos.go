@@ -45,6 +45,7 @@ func fromEngineResult(algo, label string, res *nxgraph.Result) *Result {
 		EdgesTraversed: res.EdgesTraversed,
 		Strategy:       res.Strategy.String(),
 		ElapsedMS:      res.Elapsed.Milliseconds(),
+		Trace:          res.Trace,
 	}
 }
 

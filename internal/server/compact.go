@@ -41,6 +41,8 @@ func (s *scheduler) executeCompact(j *Job) {
 	s.stats.RunningJobs.Add(1)
 	defer s.stats.RunningJobs.Add(-1)
 	s.stats.CompactionsStarted.Add(1)
+	s.log.Info("compaction started", "job", j.ID, "graph", j.Graph,
+		"pending_deltas", j.entry.deltaCount())
 
 	res, err := s.runCompaction(ctx, j.entry)
 
@@ -66,6 +68,20 @@ func (s *scheduler) executeCompact(j *Job) {
 	close(j.done)
 	j.mu.Unlock()
 	s.retire(j, res)
+
+	switch {
+	case err == nil:
+		attrs := []any{"job", j.ID, "graph", j.Graph,
+			"duration_ms", j.finished.Sub(j.started).Milliseconds()}
+		if res != nil {
+			attrs = append(attrs, "compacted_ops", int64(res.Stats["compacted_ops"]))
+		}
+		s.log.Info("compaction completed", attrs...)
+	case errors.Is(err, context.Canceled):
+		s.log.Info("compaction cancelled", "job", j.ID, "graph", j.Graph)
+	default:
+		s.log.Error("compaction failed", "job", j.ID, "graph", j.Graph, "error", err.Error())
+	}
 }
 
 // runCompaction folds the entry's checkpointed delta prefix into a

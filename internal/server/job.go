@@ -24,6 +24,7 @@ import (
 	"time"
 
 	nxgraph "nxgraph"
+	"nxgraph/internal/trace"
 )
 
 // State is a job lifecycle state.
@@ -144,6 +145,11 @@ type Result struct {
 	EdgesTraversed int64              `json:"edges_traversed"`
 	Strategy       string             `json:"strategy,omitempty"`
 	ElapsedMS      int64              `json:"elapsed_ms"`
+	// Trace is the producing run's span timeline, served by
+	// GET /v1/jobs/{id}/trace (nil for algorithms that compose multiple
+	// runs and for compaction jobs). A cached Result keeps the trace of
+	// the run that produced it.
+	Trace *trace.Trace `json:"-"`
 }
 
 // sizeBytes approximates the result's memory footprint for the LRU

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nxgraph/internal/metrics"
+	"nxgraph/internal/trace"
+)
+
+// traceResponse mirrors the /v1/jobs/{id}/trace payload.
+type traceResponse struct {
+	Job      string         `json:"job"`
+	Algo     string         `json:"algo"`
+	CacheHit bool           `json:"cache_hit"`
+	Timeline trace.Timeline `json:"timeline"`
+}
+
+func getTrace(t *testing.T, url string) (int, traceResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr traceResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatalf("decode trace: %v", err)
+		}
+	}
+	return resp.StatusCode, tr
+}
+
+// TestTraceEndpoint runs a PageRank job and checks the trace endpoint
+// returns the full span timeline: a run span, iteration spans parented
+// to it, block-load spans tagged hit or miss, and per-iteration stage
+// stats.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := submit(t, ts, "g", "pagerank", map[string]any{"iters": 4})
+	pollUntil(t, ts, id, stateIs("done"))
+
+	code, tr := getTrace(t, ts.URL+"/v1/jobs/"+id+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace status %d", code)
+	}
+	if tr.Job != id || tr.Algo != "pagerank" {
+		t.Fatalf("trace header = %q/%q, want %q/pagerank", tr.Job, tr.Algo, id)
+	}
+	if len(tr.Timeline.Spans) == 0 {
+		t.Fatal("empty span timeline")
+	}
+	var runID uint64
+	iterIDs := map[uint64]bool{}
+	var iters, loads, hits, misses int
+	for _, sp := range tr.Timeline.Spans {
+		switch sp.Kind {
+		case trace.KindRun:
+			runID = sp.ID
+		case trace.KindIteration:
+			iterIDs[sp.ID] = true
+			iters++
+		}
+	}
+	if runID == 0 {
+		t.Fatal("no run span in timeline")
+	}
+	if iters != 4 {
+		t.Fatalf("iteration spans = %d, want 4", iters)
+	}
+	for _, sp := range tr.Timeline.Spans {
+		switch sp.Kind {
+		case trace.KindIteration:
+			if sp.Parent != runID {
+				t.Errorf("iteration %q parent %d, want run %d", sp.Name, sp.Parent, runID)
+			}
+		case trace.KindBlockLoad:
+			loads++
+			switch sp.Tag {
+			case trace.TagHit:
+				hits++
+			case trace.TagMiss:
+				misses++
+			default:
+				t.Errorf("block load %q untagged", sp.Name)
+			}
+			if !iterIDs[sp.Parent] {
+				t.Errorf("block load %q parent %d is not an iteration", sp.Name, sp.Parent)
+			}
+		}
+	}
+	if loads == 0 || misses == 0 {
+		t.Fatalf("block loads = %d (misses %d), want both > 0", loads, misses)
+	}
+	if len(tr.Timeline.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(tr.Timeline.Steps))
+	}
+	for _, st := range tr.Timeline.Steps {
+		if st.Edges <= 0 {
+			t.Errorf("iteration %d traversed no edges", st.Iteration)
+		}
+		if st.DurUS < st.StallUS || st.DurUS < st.ComputeUS {
+			t.Errorf("iteration %d: dur %dus < stall %dus / compute %dus",
+				st.Iteration, st.DurUS, st.StallUS, st.ComputeUS)
+		}
+	}
+}
+
+// TestTraceNotDone checks a queued-or-running job's trace is a 409.
+func TestTraceNotDone(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Saturate the single worker with a long run so the second job
+	// stays pending while we probe its trace endpoint.
+	blocker := submit(t, ts, "g", "pagerank", map[string]any{"iters": 100000})
+	id := submit(t, ts, "g", "pagerank", map[string]any{"iters": 50, "damping": 0.8})
+	if code, _ := getTrace(t, ts.URL+"/v1/jobs/"+id+"/trace"); code != http.StatusConflict {
+		t.Fatalf("trace of pending job: status %d, want 409", code)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/jobs/"+blocker+"/cancel", nil)
+	doJSON(t, "POST", ts.URL+"/v1/jobs/"+id+"/cancel", nil)
+	pollUntil(t, ts, blocker, terminal)
+	pollUntil(t, ts, id, terminal)
+}
+
+// TestMetricsExposition validates the full /metrics payload against the
+// Prometheus text-format parser and checks the histogram families and
+// build info are present after a completed job.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	id := submit(t, ts, "g", "pagerank", map[string]any{"iters": 3})
+	pollUntil(t, ts, id, stateIs("done"))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	text := string(b)
+	if err := metrics.ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE nxserve_job_duration_seconds histogram",
+		"# TYPE nxserve_iteration_duration_seconds histogram",
+		"# TYPE nxserve_block_load_seconds histogram",
+		"# TYPE nxserve_ingest_batch_edges histogram",
+		"# TYPE nxserve_http_request_seconds histogram",
+		"nxserve_job_duration_seconds_count 1",
+		"nxserve_iteration_duration_seconds_count 3",
+		"nxserve_build_info{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// The job loaded blocks, so the block-load histogram must be
+	// populated.
+	if strings.Contains(text, "nxserve_block_load_seconds_count 0\n") {
+		t.Error("block-load histogram empty after a completed job")
+	}
+}
+
+// TestHealthAndReady checks the probe endpoints, including readiness
+// dropping when shutdown begins.
+func TestHealthAndReady(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	s.ready.Store(false) // what Close() does first
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status %d, want 503", resp.StatusCode)
+	}
+	s.ready.Store(true) // restore so cleanup paths look normal
+}
+
+// TestRequestID checks the middleware stamps a request id and
+// propagates a caller-supplied one.
+func TestRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		t.Error("no X-Request-Id on response")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/graphs", nil)
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-7" {
+		t.Errorf("X-Request-Id = %q, want caller-7", got)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -107,14 +108,19 @@ type registry struct {
 	seq    int64             // uid generator
 	stats  *metrics.ServerStats
 	cache  *blockcache.Cache // shared block cache handed to every entry
+	log    *slog.Logger
 }
 
-func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache) *registry {
+func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache, log *slog.Logger) *registry {
+	if log == nil {
+		log = slog.Default()
+	}
 	return &registry{
 		graphs: make(map[string]*graphEntry),
 		dirs:   make(map[string]string),
 		stats:  stats,
 		cache:  cache,
+		log:    log,
 	}
 }
 
@@ -174,6 +180,14 @@ func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, err
 		r.stats.GraphsOpen.Store(int64(len(r.graphs)))
 	}
 	r.mu.Unlock()
+	r.log.Info("graph opened",
+		"graph", name,
+		"dir", dir,
+		"uid", e.uid,
+		"vertices", g.NumVertices(),
+		"edges", g.NumEdges(),
+		"p", g.P(),
+	)
 	return e, nil
 }
 
@@ -349,6 +363,7 @@ func (r *registry) closeEntry(e *graphEntry) error {
 	r.mu.Lock()
 	delete(r.dirs, canonDir(e.dir))
 	r.mu.Unlock()
+	r.log.Info("graph closed", "graph", e.name, "uid", e.uid)
 	return err
 }
 
@@ -374,6 +389,7 @@ func (r *registry) closeAll() {
 		if e.cache != nil {
 			e.cache.InvalidateGeneration(e.bcGen)
 		}
+		r.log.Info("graph closed", "graph", e.name, "uid", e.uid)
 	}
 	r.mu.Lock()
 	r.dirs = make(map[string]string)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"nxgraph/internal/metrics"
+	"nxgraph/internal/trace"
 )
 
 // ErrQueueFull is returned by submit when the pending-job queue is at
@@ -36,6 +38,8 @@ var errGraphClosing = errors.New("server: graph is closing")
 type scheduler struct {
 	cache *resultCache
 	stats *metrics.ServerStats
+	hist  *metrics.ServerHistograms
+	log   *slog.Logger
 
 	mu            sync.Mutex
 	cond          *sync.Cond // signalled on pending growth and on stop
@@ -54,9 +58,15 @@ type scheduler struct {
 	wg        sync.WaitGroup
 }
 
-func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *resultCache, stats *metrics.ServerStats) *scheduler {
+func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *resultCache, stats *metrics.ServerStats, hist *metrics.ServerHistograms, log *slog.Logger) *scheduler {
 	if workers <= 0 {
 		workers = 2
+	}
+	if hist == nil {
+		hist = metrics.NewServerHistograms()
+	}
+	if log == nil {
+		log = slog.Default()
 	}
 	if queueCap <= 0 {
 		queueCap = 64
@@ -71,6 +81,8 @@ func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *r
 	s := &scheduler{
 		cache:       cache,
 		stats:       stats,
+		hist:        hist,
+		log:         log,
 		queueCap:    queueCap,
 		jobs:        make(map[string]*Job),
 		retain:      retainJobs,
@@ -464,6 +476,8 @@ func (s *scheduler) execute(j *Job) {
 	j.mu.Lock()
 	j.cancel = nil
 	j.finished = time.Now()
+	elapsed := j.finished.Sub(j.started)
+	var state State
 	switch {
 	case err == nil:
 		j.state = Done
@@ -482,9 +496,45 @@ func (s *scheduler) execute(j *Job) {
 		j.err = err
 		s.stats.JobsFailed.Add(1)
 	}
+	state = j.state
 	close(j.done)
 	j.mu.Unlock()
 	s.retire(j, res)
+
+	if err == nil && !cacheHit {
+		s.hist.JobDuration.Observe(elapsed.Seconds())
+		s.observeTrace(res.Trace)
+	}
+	attrs := []any{
+		"job", j.ID, "graph", j.Graph, "algo", j.Algo,
+		"state", string(state), "cache_hit", cacheHit,
+		"duration_ms", elapsed.Milliseconds(),
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		s.log.Error("job finished", append(attrs, "error", err.Error())...)
+	} else {
+		if res != nil {
+			attrs = append(attrs, "iterations", res.Iterations, "edges", res.EdgesTraversed)
+		}
+		s.log.Info("job finished", attrs...)
+	}
+}
+
+// observeTrace folds one engine run's trace into the iteration-time and
+// block-load histograms. Cache hits skip it — their trace belongs to
+// the run that was already observed when it executed.
+func (s *scheduler) observeTrace(tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, st := range tr.Steps() {
+		s.hist.IterationDuration.Observe(float64(st.DurUS) / 1e6)
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Kind == trace.KindBlockLoad {
+			s.hist.BlockLoad.Observe(float64(sp.DurUS) / 1e6)
+		}
+	}
 }
 
 // shutdown cancels all work and waits for the workers to drain.

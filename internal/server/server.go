@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	nxgraph "nxgraph"
 	"nxgraph/internal/blockcache"
@@ -41,6 +44,11 @@ type Config struct {
 	BlockCacheBytes int64
 	// GraphOptions is applied when opening graphs via the API.
 	GraphOptions nxgraph.Options
+	// Logger receives the server's structured logs; nil selects
+	// slog.Default().
+	Logger *slog.Logger
+	// Version labels the build in the nxserve_build_info metric.
+	Version string
 }
 
 // Server is the nxserve HTTP service: a graph registry, a job scheduler
@@ -57,7 +65,11 @@ type Config struct {
 //	GET    /v1/jobs/{id}              job status + progress
 //	GET    /v1/jobs/{id}/result       result; ?top=K for the K extreme vertices
 //	POST   /v1/jobs/{id}/cancel       request cancellation
+//	GET    /v1/jobs/{id}/trace        run trace (span timeline + per-iteration stats)
 //	GET    /metrics                   Prometheus text metrics
+//	GET    /healthz                   liveness probe
+//	GET    /readyz                    readiness probe (503 once shutdown began)
+//	GET    /debug/pprof/...           Go runtime profiles
 type Server struct {
 	cfg    Config
 	reg    *registry
@@ -65,7 +77,11 @@ type Server struct {
 	cache  *resultCache
 	blocks *blockcache.Cache // shared sub-shard block cache
 	stats  *metrics.ServerStats
+	hist   *metrics.ServerHistograms
+	log    *slog.Logger
 	mux    *http.ServeMux
+	ready  atomic.Bool   // true between New and Close; drives /readyz
+	reqSeq atomic.Uint64 // request-id generator for the access log
 }
 
 // New creates a Server with started workers. Call Close to shut it down.
@@ -83,17 +99,25 @@ func New(cfg Config) *Server {
 	// A negative budget flows through to the cache, where every result
 	// exceeds it and nothing is stored — caching disabled.
 	stats := &metrics.ServerStats{}
+	hist := metrics.NewServerHistograms()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	cache := newResultCache(cfg.CacheBytes, stats)
 	blocks := blockcache.New(blockBudget)
 	s := &Server{
 		cfg:    cfg,
-		reg:    newRegistry(stats, blocks),
-		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.RetainBytes, cache, stats),
+		reg:    newRegistry(stats, blocks, logger),
+		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.RetainBytes, cache, stats, hist, logger),
 		cache:  cache,
 		blocks: blocks,
 		stats:  stats,
+		hist:   hist,
+		log:    logger,
 		mux:    http.NewServeMux(),
 	}
+	s.ready.Store(true)
 	s.routes()
 	return s
 }
@@ -113,12 +137,14 @@ func (s *Server) OpenGraph(name, dir string, opt nxgraph.Options) error {
 
 // Close cancels all jobs, stops the workers and closes every graph.
 func (s *Server) Close() {
+	s.ready.Store(false) // readiness drops first so probes drain traffic
 	s.sched.shutdown()
 	s.reg.closeAll()
 }
 
-// Handler returns the root HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root HTTP handler: the API routes behind the
+// request-id/access-log/latency middleware.
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -132,7 +158,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// pprof must be mounted explicitly: the server runs on its own mux,
+	// so the net/http/pprof DefaultServeMux registrations never apply.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -406,8 +442,53 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
+// handleTrace serves a completed job's run trace: the span timeline
+// (run → iterations → block loads tagged hit/miss) plus the
+// per-iteration stage stats. Jobs whose algorithm carries no engine
+// trace (multi-phase compositions, compactions) return an empty
+// timeline rather than an error; cache-hit jobs share the trace of the
+// run that produced the cached result.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	snap := j.Snapshot()
+	if snap.State != Done {
+		writeErr(w, http.StatusConflict, "job %s is %s, trace available only for done jobs",
+			snap.ID, snap.State)
+		return
+	}
+	res := j.Result()
+	resp := map[string]any{
+		"job":       snap.ID,
+		"algo":      res.Algo,
+		"cache_hit": snap.CacheHit,
+		"timeline":  res.Trace.Snapshot(), // nil-safe: empty timeline
+	}
+	// Span timelines run to thousands of entries — compact encoding.
+	writeJSONCompact(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("shutting down\n"))
+		return
+	}
+	w.Write([]byte("ready\n"))
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.stats.WritePrometheus(w)
 	metrics.WriteBlockCachePrometheus(w, s.blocks.Stats())
+	s.hist.WritePrometheus(w)
+	metrics.WriteBuildInfo(w, s.cfg.Version)
 }

@@ -1,0 +1,12 @@
+package trace
+
+import "testing"
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start(KindBlockLoad, "f[1,2]", 3)
+		tr.End(sp)
+	}
+}

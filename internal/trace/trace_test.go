@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanRecording(t *testing.T) {
+	tr := New(16)
+	run := tr.Start(KindRun, "pagerank", 0)
+	iter := tr.Start(KindIteration, "iter-0", run.ID)
+	load := tr.Start(KindBlockLoad, "f[0,1]", iter.ID)
+	load.Tag = TagMiss
+	load.Bytes = 1234
+	tr.End(load)
+	tr.End(iter)
+	tr.End(run)
+
+	tl := tr.Snapshot()
+	if len(tl.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(tl.Spans))
+	}
+	// Spans land in completion order: leaf first, run last.
+	if tl.Spans[0].Kind != KindBlockLoad || tl.Spans[2].Kind != KindRun {
+		t.Fatalf("unexpected order: %v, %v", tl.Spans[0].Kind, tl.Spans[2].Kind)
+	}
+	if tl.Spans[0].Parent != iter.ID || tl.Spans[1].Parent != run.ID {
+		t.Fatal("parent links broken")
+	}
+	if tl.Spans[0].Tag != TagMiss || tl.Spans[0].Bytes != 1234 {
+		t.Fatalf("tag/bytes lost: %+v", tl.Spans[0])
+	}
+	if tl.Spans[0].DurUS < 0 || tl.Spans[0].StartUS < 0 {
+		t.Fatalf("negative timing: %+v", tl.Spans[0])
+	}
+	if tl.DroppedSpans != 0 {
+		t.Fatalf("dropped %d spans in an underfull ring", tl.DroppedSpans)
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 20; i++ {
+		tr.End(tr.Start(KindBlockLoad, "b", 0))
+	}
+	tl := tr.Snapshot()
+	if len(tl.Spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(tl.Spans))
+	}
+	if tl.DroppedSpans != 12 {
+		t.Fatalf("dropped = %d, want 12", tl.DroppedSpans)
+	}
+	// The survivors are the newest spans, oldest first.
+	for i := 1; i < len(tl.Spans); i++ {
+		if tl.Spans[i].ID <= tl.Spans[i-1].ID {
+			t.Fatalf("ring unwrap out of order: %d after %d", tl.Spans[i].ID, tl.Spans[i-1].ID)
+		}
+	}
+	if got := tl.Spans[len(tl.Spans)-1].ID; got != 20 {
+		t.Fatalf("newest surviving span id = %d, want 20", got)
+	}
+}
+
+func TestSteps(t *testing.T) {
+	tr := New(0)
+	tr.AddStep(StepStats{Iteration: 0, Edges: 100, StallUS: 5, ComputeUS: 95, DurUS: 100})
+	tr.AddStep(StepStats{Iteration: 1, Edges: 90})
+	steps := tr.Steps()
+	if len(steps) != 2 || steps[0].Edges != 100 || steps[1].Iteration != 1 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	// Steps returns a copy: mutating it must not reach the trace.
+	steps[0].Edges = 0
+	if tr.Steps()[0].Edges != 100 {
+		t.Fatal("Steps returned aliased storage")
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start(KindRun, "x", 0)
+	if sp.ID != 0 {
+		t.Fatal("nil trace allocated a span id")
+	}
+	if d := tr.End(sp); d != 0 {
+		t.Fatal("nil trace measured a duration")
+	}
+	tr.AddStep(StepStats{})
+	if got := tr.Snapshot(); len(got.Spans) != 0 || len(got.Steps) != 0 {
+		t.Fatal("nil trace recorded something")
+	}
+	if tr.Steps() != nil || tr.Spans() != nil {
+		t.Fatal("nil trace returned non-nil slices")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.End(tr.Start(KindBlockLoad, "b", 1))
+				tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	tl := tr.Snapshot()
+	if len(tl.Spans) != 128 || tl.DroppedSpans != 800-128 {
+		t.Fatalf("spans=%d dropped=%d", len(tl.Spans), tl.DroppedSpans)
+	}
+}
+
+func TestTimelineJSON(t *testing.T) {
+	tr := New(4)
+	sp := tr.Start(KindBlockLoad, "f[1,2]", 7)
+	sp.Tag = TagHit
+	tr.End(sp)
+	out, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Tag != TagHit || back.Spans[0].Parent != 7 {
+		t.Fatalf("round-trip lost data: %+v", back.Spans)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"nxgraph/internal/graph"
 	"nxgraph/internal/preprocess"
 	"nxgraph/internal/storage"
+	"nxgraph/internal/trace"
 )
 
 // Re-exported basic types.
@@ -74,6 +75,16 @@ type (
 	// CacheStats is a snapshot of the sub-shard block cache counters
 	// (see Graph.CacheStats and Options.CacheBytes).
 	CacheStats = blockcache.Stats
+	// Trace is a run's span recorder; Result.Trace carries one unless
+	// tracing was disabled via Options.TraceSpans < 0.
+	Trace = trace.Trace
+	// TraceSpan is one timed section of a traced run.
+	TraceSpan = trace.Span
+	// TraceStep is one iteration's aggregate stage stats (stall vs
+	// compute, blocks hit/missed, bytes moved).
+	TraceStep = trace.StepStats
+	// TraceTimeline is a JSON-ready snapshot of a run trace.
+	TraceTimeline = trace.Timeline
 )
 
 // Disk profiles for Options.Profile.
@@ -128,6 +139,10 @@ type Options struct {
 	Transpose bool
 	// Profile simulates a disk; zero value means unthrottled.
 	Profile DiskProfile
+	// TraceSpans bounds each run's trace span ring buffer: 0 selects the
+	// default capacity, a positive value sets the bound, and a negative
+	// value disables run tracing (Result.Trace is then nil).
+	TraceSpans int
 }
 
 func (o Options) p() int {
@@ -155,6 +170,7 @@ func (o Options) engineConfig() engine.Config {
 		CacheBytes:   o.CacheBytes,
 		Strategy:     o.Strategy,
 		Sync:         sync,
+		TraceSpans:   o.TraceSpans,
 	}
 }
 
