@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// problem is one finding, anchored to a 1-based line of the source file.
+type problem struct {
+	line int
+	msg  string
+}
+
+// linkRE matches inline Markdown links and images: [text](dest) or
+// ![alt](dest). The destination group stops at the first whitespace or
+// closing parenthesis, which also drops an optional "title" part.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkFile runs every check over one Markdown source. dir is the
+// directory containing the file; relative link targets resolve against
+// it.
+func checkFile(dir, src string) []problem {
+	var probs []problem
+	lines := strings.Split(src, "\n")
+
+	inFence := false // inside a ``` fenced code block
+	fenceLang := ""
+	fenceStart := 0
+	var fenceBody []string
+
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if !inFence {
+				inFence = true
+				fenceLang = strings.TrimSpace(strings.TrimPrefix(trimmed, "```"))
+				fenceStart = i + 1
+				fenceBody = fenceBody[:0]
+			} else {
+				if fenceLang == "go" {
+					if err := checkGoSnippet(strings.Join(fenceBody, "\n")); err != nil {
+						probs = append(probs, problem{fenceStart, err.Error()})
+					}
+				}
+				inFence = false
+			}
+			continue
+		}
+		if inFence {
+			fenceBody = append(fenceBody, line)
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			if msg := checkLink(dir, m[1]); msg != "" {
+				probs = append(probs, problem{i + 1, msg})
+			}
+		}
+	}
+	if inFence {
+		probs = append(probs, problem{fenceStart, "unterminated code fence"})
+	}
+	return probs
+}
+
+// checkLink validates one link destination against dir, returning an
+// empty string when the link is fine (or out of scope: absolute URLs,
+// mailto:, and in-page fragments are not checked).
+func checkLink(dir, dest string) string {
+	if strings.Contains(dest, "://") || strings.HasPrefix(dest, "mailto:") {
+		return ""
+	}
+	if strings.HasPrefix(dest, "#") {
+		return ""
+	}
+	path, _, _ := strings.Cut(dest, "#")
+	if path == "" {
+		return ""
+	}
+	if _, err := os.Stat(filepath.Join(dir, path)); err != nil {
+		return fmt.Sprintf("broken link: %s", dest)
+	}
+	return ""
+}
+
+// checkGoSnippet asserts that one ```go fence holds valid, gofmt-clean
+// Go. format.Source accepts whole files, declaration lists, and
+// statement lists, so documentation snippets need no special wrapping —
+// they just have to be real Go in canonical style.
+func checkGoSnippet(snippet string) error {
+	src := []byte(snippet)
+	if len(bytes.TrimSpace(src)) == 0 {
+		return nil
+	}
+	out, err := format.Source(src)
+	if err != nil {
+		return fmt.Errorf("go snippet does not parse: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimRight(out, "\n"), bytes.TrimRight(src, "\n")) {
+		return fmt.Errorf("go snippet is not gofmt-clean")
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates name (with parents) under dir and returns its path.
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/other.md", "# other\n")
+
+	src := strings.Join([]string{
+		"[good](docs/other.md)",
+		"[good dir](docs)",
+		"[good fragment](docs/other.md#other)",
+		"[external](https://example.com/missing)",
+		"[mail](mailto:x@example.com)",
+		"[in-page](#section)",
+		"![image](docs/missing.png)",
+		"[broken](docs/absent.md)",
+	}, "\n")
+
+	probs := checkFile(dir, src)
+	if len(probs) != 2 {
+		t.Fatalf("got %d problems, want 2: %+v", len(probs), probs)
+	}
+	if probs[0].line != 7 || !strings.Contains(probs[0].msg, "docs/missing.png") {
+		t.Errorf("problem 0 = %+v, want broken image at line 7", probs[0])
+	}
+	if probs[1].line != 8 || !strings.Contains(probs[1].msg, "docs/absent.md") {
+		t.Errorf("problem 1 = %+v, want broken link at line 8", probs[1])
+	}
+}
+
+func TestLinksInsideFencesIgnored(t *testing.T) {
+	src := "```sh\ncurl [x](nowhere.md)\n```\n"
+	if probs := checkFile(t.TempDir(), src); len(probs) != 0 {
+		t.Fatalf("fenced pseudo-link reported: %+v", probs)
+	}
+}
+
+func TestCheckGoSnippets(t *testing.T) {
+	cases := []struct {
+		name    string
+		snippet string
+		wantErr string
+	}{
+		{"statements", "g, _ := open()\ndefer g.Close()", ""},
+		{"declarations", "func hello() string {\n\treturn \"hi\"\n}", ""},
+		{"whole file", "package main\n\nfunc main() {}", ""},
+		{"empty", "   \n", ""},
+		{"syntax error", "func { oops", "does not parse"},
+		{"unformatted", "x:=1\ny  :=  2", "not gofmt-clean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkGoSnippet(tc.snippet)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGoFencesChecked(t *testing.T) {
+	src := "intro\n\n```go\nx:=1\n```\n\n```sh\nnot go at all (\n```\n"
+	probs := checkFile(t.TempDir(), src)
+	if len(probs) != 1 {
+		t.Fatalf("got %d problems, want 1: %+v", len(probs), probs)
+	}
+	if probs[0].line != 3 || !strings.Contains(probs[0].msg, "gofmt") {
+		t.Errorf("problem = %+v, want gofmt finding at fence line 3", probs[0])
+	}
+}
+
+func TestUnterminatedFence(t *testing.T) {
+	probs := checkFile(t.TempDir(), "```go\nx := 1\n")
+	if len(probs) != 1 || !strings.Contains(probs[0].msg, "unterminated") {
+		t.Fatalf("got %+v, want unterminated-fence finding", probs)
+	}
+}
+
+func TestMarkdownFiles(t *testing.T) {
+	dir := t.TempDir()
+	readme := write(t, dir, "README.md", "# hi\n")
+	a := write(t, dir, "docs/a.md", "a\n")
+	b := write(t, dir, "docs/sub/b.md", "b\n")
+	write(t, dir, "docs/ignore.txt", "not markdown\n")
+
+	files, err := markdownFiles([]string{readme, filepath.Join(dir, "docs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{readme: true, a: true, b: true}
+	if len(files) != len(want) {
+		t.Fatalf("files = %v, want %v", files, want)
+	}
+	for _, f := range files {
+		if !want[f] {
+			t.Errorf("unexpected file %s", f)
+		}
+	}
+
+	if _, err := markdownFiles([]string{filepath.Join(dir, "absent")}); err == nil {
+		t.Error("missing argument did not error")
+	}
+}

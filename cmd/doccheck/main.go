@@ -1,0 +1,90 @@
+// doccheck validates the repository's Markdown documentation the way CI
+// validates code. For every file or directory argument (directories are
+// walked for *.md) it checks:
+//
+//   - relative links: every [text](target) or ![alt](target) whose
+//     target is not an absolute URL, mailto:, or pure #fragment must
+//     resolve to an existing file or directory, relative to the Markdown
+//     file containing it;
+//   - Go snippets: every ```go fenced block must be syntactically valid
+//     Go — a whole file, a declaration list, or a statement list — and
+//     already in canonical gofmt style.
+//
+// Problems are reported one per line as path:line: message, and the exit
+// status is 1 if any were found. With no arguments it checks README.md
+// and docs/.
+//
+//	go run ./cmd/doccheck README.md docs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: doccheck [file.md | dir]...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"README.md", "docs"}
+	}
+	files, err := markdownFiles(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+	bad := false
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(1)
+		}
+		probs := checkFile(filepath.Dir(f), string(src))
+		for _, p := range probs {
+			fmt.Printf("%s:%d: %s\n", f, p.line, p.msg)
+		}
+		bad = bad || len(probs) > 0
+	}
+	fmt.Printf("doccheck: %d file(s) checked\n", len(files))
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// markdownFiles expands the argument list: files are taken as given,
+// directories are walked for *.md entries.
+func markdownFiles(args []string) ([]string, error) {
+	var files []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}

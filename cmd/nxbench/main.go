@@ -1,19 +1,20 @@
 // nxbench regenerates the paper's tables and figures (§IV) on scaled
 // stand-in datasets. Each experiment prints a text table whose rows
-// mirror the corresponding paper artifact; EXPERIMENTS.md records the
-// paper-reported values alongside.
+// mirror the corresponding paper artifact.
 //
 // Usage:
 //
 //	nxbench -exp all
 //	nxbench -exp table4,fig7 -scale-delta -2 -threads 8
 //	nxbench -exp none -trace
+//	nxbench -exp none -batch 64
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"nxgraph/internal/bench"
@@ -30,6 +31,8 @@ func main() {
 		cacheMB    = flag.Int("cache-mb", -1, "sub-shard block cache budget in MiB per engine (-1 = derive from each experiment's budget, 0 = disable)")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		showTrace  = flag.Bool("trace", false, "run a traced PageRank and print its per-iteration compute-vs-stall breakdown")
+		batch      = flag.Int("batch", 0, "run N personalized PageRank queries sequentially vs as one fused batch and print the speedup (0 = skip)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +51,19 @@ func main() {
 		s.Log = os.Stderr
 	}
 	defer s.Close()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nxbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nxbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	all := *exps == "all"
@@ -100,6 +116,9 @@ func main() {
 	}
 	if *showTrace {
 		show(s.TraceRun())
+	}
+	if *batch > 0 {
+		show(s.Batch(*batch))
 	}
 	if sum := s.CacheSummary(); sum != "" {
 		fmt.Println(sum)

@@ -114,6 +114,7 @@ func main() {
 		listen    = flag.String("listen", ":8080", "address to serve on")
 		workers   = flag.Int("workers", 2, "concurrent engine executions")
 		queueCap  = flag.Int("queue", 64, "pending-job queue capacity")
+		maxBatch  = flag.Int("max-batch", 0, "max compatible queued jobs fused into one engine run (0 = default 16, 1 disables)")
 		cache     = flag.String("cache", "256MiB", "result cache budget (0 disables caching)")
 		cacheMB   = flag.Int("cache-mb", 256, "shared decoded sub-shard block cache budget in MiB, 0 disables (distinct from -cache, the result cache)")
 		mem       = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
@@ -154,6 +155,7 @@ func main() {
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		QueueCap:        *queueCap,
+		MaxBatch:        *maxBatch,
 		CacheBytes:      cacheBytes,
 		BlockCacheBytes: blockBytes,
 		DeltaThreshold:  *deltaThr,

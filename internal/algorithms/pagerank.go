@@ -23,6 +23,7 @@ type pageRankProg struct {
 	// maxDelta tracks the largest per-vertex change of the last
 	// iteration (atomic float64 bits; Apply runs concurrently).
 	maxDelta atomic.Uint64
+	dang     danglingCache
 }
 
 func (p *pageRankProg) Name() string  { return "pagerank" }
@@ -35,6 +36,10 @@ func (p *pageRankProg) Gather(srcAttr float64, srcDeg uint32, _ float32) float64
 }
 
 func (p *pageRankProg) Sum(a, b float64) float64 { return a + b }
+
+// FusedKernelHint declares the attr/deg-and-add gather form so fused
+// batch runs specialize the multi-lane kernel.
+func (p *pageRankProg) FusedKernelHint() engine.KernelHint { return engine.KernelRankSum }
 
 func (p *pageRankProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	nv := (1-p.damping)/p.n + p.damping*(p.dangling/p.n+acc)
@@ -71,6 +76,19 @@ func (p *pageRankProg) AggVertex(v uint32, attr float64, deg uint32) float64 {
 }
 func (p *pageRankProg) AggCombine(a, b float64) float64 { return a + b }
 func (p *pageRankProg) SetGlobal(g float64)             { p.dangling = g }
+
+// AggLane implements engine.LaneAggregator for fused runs; see
+// pprProg.AggLane for why skipping non-dangling vertices reproduces the
+// scalar fold bit-for-bit. (Apply keeps the generic per-vertex path —
+// its convergence tracking carries atomic state that a strided loop
+// would not speed up.)
+func (p *pageRankProg) AggLane(curr []float64, stride, off int, deg []uint32) float64 {
+	val := 0.0
+	for _, v := range p.dang.indexFor(deg) {
+		val += curr[int(v)*stride+off]
+	}
+	return val
+}
 
 // PageRank runs exactly iters power iterations and returns per-vertex
 // ranks (summing to 1).

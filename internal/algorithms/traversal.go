@@ -30,11 +30,32 @@ func (p *bfsProg) Gather(srcAttr float64, _ uint32, _ float32) float64 {
 
 func (p *bfsProg) Sum(a, b float64) float64 { return math.Min(a, b) }
 
+// FusedKernelHint declares the hop-count-min gather form so fused batch
+// runs specialize the multi-lane kernel.
+func (p *bfsProg) FusedKernelHint() engine.KernelHint { return engine.KernelHopMin }
+
 func (p *bfsProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	if acc < old {
 		return acc, true
 	}
 	return old, false
+}
+
+// ApplyLane implements engine.LaneApplier: min-relaxation over a strided
+// vertex range without per-vertex interface dispatch. next already holds
+// the accumulated contribution, so an improved vertex keeps it and an
+// unimproved one restores old — exactly Apply's two outcomes.
+func (p *bfsProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		idx := int(v)*stride + off
+		if next[idx] < curr[idx] {
+			changed = true
+		} else {
+			next[idx] = curr[idx]
+		}
+	}
+	return changed
 }
 
 // BFS computes hop distances from root; unreachable vertices hold +Inf.
@@ -87,11 +108,30 @@ func (p *ssspProg) Gather(srcAttr float64, _ uint32, w float32) float64 {
 
 func (p *ssspProg) Sum(a, b float64) float64 { return math.Min(a, b) }
 
+// FusedKernelHint declares the weighted-distance-min gather form so
+// fused batch runs specialize the multi-lane kernel.
+func (p *ssspProg) FusedKernelHint() engine.KernelHint { return engine.KernelDistMin }
+
 func (p *ssspProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	if acc < old {
 		return acc, true
 	}
 	return old, false
+}
+
+// ApplyLane implements engine.LaneApplier; see bfsProg.ApplyLane — the
+// relaxation is identical, only the gathered distances differ.
+func (p *ssspProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		idx := int(v)*stride + off
+		if next[idx] < curr[idx] {
+			changed = true
+		} else {
+			next[idx] = curr[idx]
+		}
+	}
+	return changed
 }
 
 // SSSP computes single-source shortest path distances over edge weights;

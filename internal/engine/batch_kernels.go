@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"math"
+
+	"nxgraph/internal/storage"
+)
+
+// This file holds the fused multi-lane gather and apply kernels of
+// BatchRun. The gather kernels keep the scalar gatherCSR's shape — a
+// per-destination local fold over the destination's in-edges, then one
+// fold of the local into the accumulator — replicated per lane, so every
+// lane's floating-point operations happen in exactly the order a scalar
+// run would perform them and results stay bit-identical.
+//
+// When every lane declares the same KernelHint, the per-edge Program
+// interface dispatch (two calls per edge per lane in the generic path)
+// is replaced by direct arithmetic on the SoA arrays. This is where the
+// fused throughput win comes from: the edge decode, degree load, and
+// tombstone check are paid once per edge, and the per-lane work shrinks
+// to one or two FP operations on consecutive memory.
+
+// gatherCell folds destinations [k0, k1) of sub-shard ss into the SoA
+// accumulator b.next for the given lanes. del is the overlay tombstone
+// predicate for base cells (nil when the cell has no pending removals);
+// scaled is the direction's hoisted rank-sum Gather array, non-nil
+// exactly when the batch hint is KernelRankSum.
+func (b *BatchRun) gatherCell(ss *storage.SubShard, deg []uint32, scaled []float64, del func(src, dst uint32) bool, lanes []int, k0, k1 int) {
+	// contig: lanes is a run of consecutive lane ids, letting the
+	// specialized kernels slice the SoA arrays directly instead of
+	// indirecting through the lane list. This is the common shape for
+	// dense programs (PPR lanes never deactivate).
+	contig := true
+	for x, l := range lanes {
+		if l != lanes[0]+x {
+			contig = false
+			break
+		}
+	}
+	local := make([]float64, len(lanes))
+	switch b.hint {
+	case KernelRankSum:
+		b.gatherRankSum(ss, scaled, del, lanes, contig, local, k0, k1)
+	case KernelHopMin:
+		b.gatherMin(ss, deg, del, lanes, contig, local, k0, k1, false)
+	case KernelDistMin:
+		b.gatherMin(ss, deg, del, lanes, contig, local, k0, k1, true)
+	default:
+		b.gatherGeneric(ss, deg, del, lanes, local, k0, k1)
+	}
+}
+
+// gatherGeneric is the hint-free fused kernel: per-edge Program
+// dispatch, one Gather+Sum pair per lane.
+func (b *BatchRun) gatherGeneric(ss *storage.SubShard, deg []uint32, del func(src, dst uint32) bool, lanes []int, local []float64, k0, k1 int) {
+	L := b.lcount
+	zero := b.ps[lanes[0]].Zero()
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		for x := range local {
+			local[x] = zero
+		}
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		for t := lo; t < hi; t++ {
+			s := ss.Srcs[t]
+			if del != nil && del(s, d) {
+				continue
+			}
+			w := float32(1)
+			if ss.Weights != nil {
+				w = ss.Weights[t]
+			}
+			sb := int(s) * L
+			for x, l := range lanes {
+				p := b.ps[l]
+				local[x] = p.Sum(local[x], p.Gather(b.curr[sb+l], deg[s], w))
+			}
+		}
+		db := int(d) * L
+		for x, l := range lanes {
+			b.next[db+l] = b.ps[l].Sum(b.next[db+l], local[x])
+		}
+	}
+}
+
+// gatherRankSum is the KernelRankSum specialization:
+// Gather = attr/deg, Sum = +. The divisions by float64(deg[s]) were
+// hoisted into the per-iteration scaled array (see computeScaled) with
+// exactly the operands a scalar Gather would use, so the edge loop here
+// is pure left-to-right additions and stays bit-identical to the scalar
+// pprProg/pageRankProg operations.
+func (b *BatchRun) gatherRankSum(ss *storage.SubShard, scaled []float64, del func(src, dst uint32) bool, lanes []int, contig bool, local []float64, k0, k1 int) {
+	L := b.lcount
+	if contig && del == nil {
+		b.gatherRankSumDense(ss, scaled, local, k0, k1, lanes[0])
+		return
+	}
+	off, w := 0, len(local)
+	if contig {
+		off = lanes[0]
+	}
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		for x := range local {
+			local[x] = 0
+		}
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		for t := lo; t < hi; t++ {
+			s := ss.Srcs[t]
+			if del != nil && del(s, d) {
+				continue
+			}
+			sb := int(s) * L
+			if contig {
+				addLanes(local, scaled[sb+off:sb+off+w])
+			} else {
+				for x, l := range lanes {
+					local[x] += scaled[sb+l]
+				}
+			}
+		}
+		db := int(d) * L
+		if contig {
+			addLanes(b.next[db+off:db+off+w], local)
+		} else {
+			for x, l := range lanes {
+				b.next[db+l] += local[x]
+			}
+		}
+	}
+}
+
+// denseFoldMax bounds the per-destination edge count the interchanged
+// fold handles; beyond it the streaming local-buffer fold wins (a hub
+// destination's source rows overflow the cache when revisited per lane).
+const denseFoldMax = 32
+
+// gatherRankSumDense is gatherRankSum for the hot shape: a consecutive
+// lane run with no overlay tombstones. With P intervals a destination
+// sees only ~1/P of its in-edges per cell, so most destinations here
+// carry a handful of edges; instead of the general three-pass
+// local-buffer fold (zero local, add each edge, fold into next) it
+// sweeps the lanes once, accumulating the destination's whole edge list
+// in a register. Per lane the additions are the scalar fold's, in the
+// scalar fold's order — ranks are never -0, so 0+g == g and
+// next+(0+g) == next+g — keeping results bit-identical.
+func (b *BatchRun) gatherRankSumDense(ss *storage.SubShard, scaled, local []float64, k0, k1, off int) {
+	L := b.lcount
+	w := len(local)
+	var offBuf [denseFoldMax]int // per-destination source row offsets
+	for k := k0; k < k1; k++ {
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		if lo >= hi {
+			continue // no edges: the fold would add local's zeros, a bitwise no-op
+		}
+		db := int(ss.Dsts[k])*L + off
+		sb := int(ss.Srcs[lo])*L + off
+		if hi == lo+1 {
+			addLanes(b.next[db:db+w], scaled[sb:sb+w])
+			continue
+		}
+		if e := int(hi - lo); e <= denseFoldMax {
+			s0 := scaled[sb : sb+w]
+			ns := b.next[db : db+w]
+			switch e {
+			case 2: // the offs loop's per-lane overhead rivals one add
+				o1 := int(ss.Srcs[lo+1])*L + off
+				s1 := scaled[o1 : o1+w]
+				for x, g := range s0 {
+					ns[x] += g + s1[x]
+				}
+			case 3:
+				o1 := int(ss.Srcs[lo+1])*L + off
+				o2 := int(ss.Srcs[lo+2])*L + off
+				s1, s2 := scaled[o1:o1+w], scaled[o2:o2+w]
+				for x, g := range s0 {
+					ns[x] += g + s1[x] + s2[x]
+				}
+			default:
+				offs := offBuf[:e-1]
+				for t := lo + 1; t < hi; t++ {
+					offs[t-lo-1] = int(ss.Srcs[t])*L + off
+				}
+				for x, g := range s0 {
+					for _, so := range offs {
+						g += scaled[so+x]
+					}
+					ns[x] += g
+				}
+			}
+			continue
+		}
+		copy(local, scaled[sb:sb+w]) // local = 0 + first gather, as one move
+		for t := lo + 1; t < hi; t++ {
+			sb := int(ss.Srcs[t])*L + off
+			addLanes(local, scaled[sb:sb+w])
+		}
+		addLanes(b.next[db:db+w], local)
+	}
+}
+
+// addLanes is the fused rank kernel's innermost operation: element-wise
+// dst[x] += src[x], unrolled four wide. The additions are independent
+// across x, so unrolling reorders nothing; it exists because this loop
+// runs once per edge per chunk and loop overhead otherwise rivals the
+// arithmetic.
+func addLanes(dst, src []float64) {
+	if len(src) > len(dst) {
+		return // never happens: both are lane-width; guards hoist checks
+	}
+	x := 0
+	for ; x+4 <= len(src); x += 4 {
+		dst[x] += src[x]
+		dst[x+1] += src[x+1]
+		dst[x+2] += src[x+2]
+		dst[x+3] += src[x+3]
+	}
+	for ; x < len(src); x++ {
+		dst[x] += src[x]
+	}
+}
+
+// gatherMin is the KernelHopMin/KernelDistMin specialization:
+// Gather = attr+1 (hops) or attr+float64(w) (distances), Sum = math.Min.
+// Zero is +Inf for both programs, so local starts at the lanes' shared
+// Zero value.
+func (b *BatchRun) gatherMin(ss *storage.SubShard, deg []uint32, del func(src, dst uint32) bool, lanes []int, contig bool, local []float64, k0, k1 int, weighted bool) {
+	L := b.lcount
+	zero := b.ps[lanes[0]].Zero()
+	off, w := lanes[0], len(local)
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		for x := range local {
+			local[x] = zero
+		}
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		for t := lo; t < hi; t++ {
+			s := ss.Srcs[t]
+			if del != nil && del(s, d) {
+				continue
+			}
+			step := 1.0
+			if weighted {
+				wt := float32(1)
+				if ss.Weights != nil {
+					wt = ss.Weights[t]
+				}
+				step = float64(wt)
+			}
+			sb := int(s) * L
+			if contig {
+				cs := b.curr[sb+off : sb+off+w]
+				for x := range local {
+					local[x] = math.Min(local[x], cs[x]+step)
+				}
+			} else {
+				for x, l := range lanes {
+					local[x] = math.Min(local[x], b.curr[sb+l]+step)
+				}
+			}
+		}
+		db := int(d) * L
+		if contig {
+			ns := b.next[db+off : db+off+w]
+			for x := range local {
+				ns[x] = math.Min(ns[x], local[x])
+			}
+		} else {
+			for x, l := range lanes {
+				b.next[db+l] = math.Min(b.next[db+l], local[x])
+			}
+		}
+	}
+}
+
+// applyLane applies lane l's accumulated contributions for vertices
+// [v0, v1): next[v*L+l] = Apply(v, curr[v*L+l], next[v*L+l]), reporting
+// whether any vertex changed — the SoA counterpart of applyRange with
+// out aliasing acc.
+func applyLane(p Program, curr, next []float64, L, l int, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		idx := int(v)*L + l
+		nv, ch := p.Apply(v, curr[idx], next[idx])
+		next[idx] = nv
+		if ch {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// copyLane carries lane l's attributes forward unchanged for vertices
+// [v0, v1) — the untouched-interval (and finished-lane) path of the
+// apply phase.
+func copyLane(curr, next []float64, L, l int, v0, v1 uint32) {
+	for v := v0; v < v1; v++ {
+		idx := int(v)*L + l
+		next[idx] = curr[idx]
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"nxgraph/internal/blockcache"
@@ -171,6 +172,43 @@ type Engine struct {
 	// overlayProvider, when set, supplies each new run's delta-overlay
 	// snapshot (see SetOverlayProvider).
 	overlayProvider OverlayProvider
+
+	// batchMu guards batchBufs, a free list of SoA float64 arrays
+	// recycled across fused batch runs. The arrays are tens of megabytes
+	// (vertices × lanes); reusing them spares every fused job after the
+	// first the allocation and first-touch page faults.
+	batchMu   sync.Mutex
+	batchBufs [][]float64
+}
+
+// getBatchBuf returns a float64 buffer of length size, reusing a pooled
+// one when capacity allows. Contents are unspecified — callers must
+// initialize every slot they read.
+func (e *Engine) getBatchBuf(size int) []float64 {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	for i, b := range e.batchBufs {
+		if cap(b) >= size {
+			last := len(e.batchBufs) - 1
+			e.batchBufs[i] = e.batchBufs[last]
+			e.batchBufs = e.batchBufs[:last]
+			return b[:size]
+		}
+	}
+	return make([]float64, size)
+}
+
+// putBatchBuf returns buffers to the fused-run free list. The list is
+// bounded only by the number of concurrent batch runs (each holds a
+// handful of arrays), so no explicit cap is needed.
+func (e *Engine) putBatchBuf(bufs ...[]float64) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	for _, b := range bufs {
+		if b != nil {
+			e.batchBufs = append(e.batchBufs, b)
+		}
+	}
 }
 
 // New creates an engine over store.

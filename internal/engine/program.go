@@ -61,6 +61,59 @@ type DenseApply interface {
 	DenseApply()
 }
 
+// KernelHint names the functional form of a Program's Gather/Sum pair.
+// A fused batch run (see BatchRun) whose lanes all declare the same
+// non-generic hint executes a specialized multi-lane inner loop with no
+// per-edge interface dispatch. Each specialized kernel performs exactly
+// the floating-point operations the declared Gather/Sum would, in the
+// same order, so per-lane results stay bit-identical to scalar runs; a
+// program must only declare a hint whose form its methods match exactly.
+type KernelHint int
+
+const (
+	// KernelGeneric makes no claim: fused gathering dispatches through
+	// the Program interface per edge per lane.
+	KernelGeneric KernelHint = iota
+	// KernelRankSum claims Gather(a, deg, w) == a/float64(deg) and
+	// Sum(x, y) == x+y — the PageRank family.
+	KernelRankSum
+	// KernelHopMin claims Gather(a, deg, w) == a+1 and
+	// Sum(x, y) == math.Min(x, y) — BFS.
+	KernelHopMin
+	// KernelDistMin claims Gather(a, deg, w) == a+float64(w) and
+	// Sum(x, y) == math.Min(x, y) — SSSP.
+	KernelDistMin
+)
+
+// FusedKernel is an optional Program extension declaring the kernel
+// hint a fused batch run may specialize on.
+type FusedKernel interface {
+	FusedKernelHint() KernelHint
+}
+
+// LaneApplier is an optional Program extension for fused batch runs: it
+// applies a whole strided vertex range in one call instead of one Apply
+// call per vertex. curr/next are the batch's SoA arrays; the program's
+// state for vertex v lives at index int(v)*stride+off. The
+// implementation must perform, per vertex in ascending order, exactly
+// the floating-point operations Apply(v, curr[idx], next[idx]) would and
+// store the result in next[idx], returning whether any vertex changed —
+// it exists purely to eliminate per-vertex interface dispatch, not to
+// change semantics.
+type LaneApplier interface {
+	ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool
+}
+
+// LaneAggregator is an optional GlobalAggregator extension for fused
+// batch runs: it computes the whole global reduction over one strided
+// attribute lane in a single call. deg has one entry per vertex; the
+// result must be bit-identical to folding AggCombine over AggVertex in
+// ascending vertex order starting from AggZero. The engine still calls
+// SetGlobal with the returned value.
+type LaneAggregator interface {
+	AggLane(curr []float64, stride, off int, deg []uint32) float64
+}
+
 // Direction selects which edge orientation a Run traverses.
 type Direction int
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"nxgraph/internal/bitset"
@@ -36,7 +35,11 @@ import (
 // the same store reuse each other's decoded blocks, and misses load in
 // the background while the previous batch computes.
 type Run struct {
-	e       *Engine
+	// fetcher carries the read path (block cache access, prefetch
+	// pipeline, fetch tracing) shared with BatchRun; its e field is the
+	// owning engine, promoted as r.e.
+	fetcher
+
 	p       Program
 	agg     GlobalAggregator
 	dense   bool
@@ -84,19 +87,10 @@ type Run struct {
 	startIO diskio.StatsSnapshot
 	started time.Time
 
-	// tr records the run's span timeline (nil when Config.TraceSpans is
-	// negative — every instrumentation call below is then inert).
-	// iterSpanID is the current iteration's span, read by the prefetch
-	// goroutines to parent their block-load spans; iterHits/iterMisses
-	// count block acquisitions from those goroutines. stallNS accumulates
-	// fetch-batch wait time and is touched only by the step loop.
-	tr         *trace.Trace
-	runSpan    trace.Span
-	runEnded   bool
-	iterSpanID atomic.Uint64
-	iterHits   atomic.Int64
-	iterMisses atomic.Int64
-	stallNS    int64
+	// runSpan is the whole-run trace span (see fetcher for the rest of
+	// the trace state); runEnded guards against double-ending it.
+	runSpan  trace.Span
+	runEnded bool
 }
 
 // NewRun initializes a run of p over the engine's store in direction dir.
@@ -110,7 +104,6 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 		return nil, fmt.Errorf("engine: source-sorted ablation requires SPU (all intervals resident)")
 	}
 	r := &Run{
-		e:       e,
 		p:       p,
 		dir:     dir,
 		strat:   strat,
@@ -121,6 +114,7 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 		started: time.Now(),
 		startIO: e.store.Disk().Stats().Snapshot(),
 	}
+	r.fetcher.e = e
 	if e.cfg.TraceSpans >= 0 {
 		r.tr = trace.New(e.cfg.TraceSpans)
 		r.runSpan = r.tr.Start(trace.KindRun, p.Name(), 0)

@@ -115,6 +115,8 @@ type ServerHistograms struct {
 	IngestBatch *Histogram
 	// HTTPRequest is HTTP handler latency across all routes.
 	HTTPRequest *Histogram
+	// BatchWidth is the lane count distribution of fused engine runs.
+	BatchWidth *Histogram
 }
 
 // NewServerHistograms creates the standard nxserve histogram set.
@@ -125,12 +127,13 @@ func NewServerHistograms() *ServerHistograms {
 		BlockLoad:         NewHistogram("nxserve_block_load_seconds", "Sub-shard block acquisition time (cache hits and misses).", DurationBuckets),
 		IngestBatch:       NewHistogram("nxserve_ingest_batch_edges", "Edge operations per accepted ingest batch.", SizeBuckets),
 		HTTPRequest:       NewHistogram("nxserve_http_request_seconds", "HTTP request handling latency.", DurationBuckets),
+		BatchWidth:        NewHistogram("nxserve_fused_batch_width", "Lane count of fused engine runs.", SizeBuckets),
 	}
 }
 
 // WritePrometheus renders every histogram in the set.
 func (s *ServerHistograms) WritePrometheus(w io.Writer) error {
-	for _, h := range []*Histogram{s.JobDuration, s.IterationDuration, s.BlockLoad, s.IngestBatch, s.HTTPRequest} {
+	for _, h := range []*Histogram{s.JobDuration, s.IterationDuration, s.BlockLoad, s.IngestBatch, s.HTTPRequest, s.BatchWidth} {
 		if err := h.WritePrometheus(w); err != nil {
 			return err
 		}

@@ -39,6 +39,10 @@ type ServerStats struct {
 	GraphsOpen atomic.Int64
 	// EdgesTraversed accumulates engine edge traversals across all jobs.
 	EdgesTraversed atomic.Int64
+	// FusedRuns counts fused engine runs (one per coalesced batch).
+	FusedRuns atomic.Int64
+	// FusedJobs counts jobs executed as lanes of a fused run.
+	FusedJobs atomic.Int64
 	// EdgesIngested counts edge insertions accepted into delta logs.
 	EdgesIngested atomic.Int64
 	// EdgesRemoved counts edge removals accepted into delta logs.
@@ -89,6 +93,10 @@ var serverMetrics = []promMetric{
 		func(s *ServerStats) int64 { return s.GraphsOpen.Load() }},
 	{"nxserve_edges_traversed_total", "Engine edge traversals across all jobs.", "counter",
 		func(s *ServerStats) int64 { return s.EdgesTraversed.Load() }},
+	{"nxserve_fused_runs_total", "Fused engine runs (one per coalesced query batch).", "counter",
+		func(s *ServerStats) int64 { return s.FusedRuns.Load() }},
+	{"nxserve_fused_jobs_total", "Jobs executed as lanes of a fused run.", "counter",
+		func(s *ServerStats) int64 { return s.FusedJobs.Load() }},
 	{"nxserve_edges_ingested_total", "Edge insertions accepted into delta logs.", "counter",
 		func(s *ServerStats) int64 { return s.EdgesIngested.Load() }},
 	{"nxserve_edges_removed_total", "Edge removals accepted into delta logs.", "counter",

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	nxgraph "nxgraph"
+)
+
+// Fused execution: a worker that claims a pending job scans the rest of
+// the queue for compatible jobs — same graph registration, same
+// algorithm, same parameters except the query root, and the same delta
+// state acknowledged at submission — and runs them as lanes of one
+// engine batch run. Every decoded sub-shard block is gathered once and
+// applied to all lanes, so a fused batch of b queries costs roughly one
+// graph traversal instead of b. Per-lane results are bit-identical to
+// sequential runs and fan out into the result cache under each job's own
+// key; cancellation stays per-job (a cancelled job's lane stops at the
+// next iteration boundary while its siblings run on).
+
+// fusableAlgo reports whether algo supports multi-query fusion (queries
+// that differ only in their root vertex).
+func fusableAlgo(algo string) bool {
+	switch algo {
+	case "ppr", "bfs", "sssp":
+		return true
+	}
+	return false
+}
+
+// fuseCompatible reports whether pending job q can join a fused batch
+// led by j. Mixed algorithms never fuse, and neither do jobs that acked
+// different delta states: the batch shares one overlay snapshot, so
+// lanes must agree on the edge set their cache keys promise.
+func fuseCompatible(j, q *Job) bool {
+	if q.kind != jobAlgo || q.entry != j.entry || q.Algo != j.Algo {
+		return false
+	}
+	if q.deltaAtSubmit != j.deltaAtSubmit {
+		return false
+	}
+	if j.Algo == "ppr" {
+		return q.Params.Damping == j.Params.Damping && q.Params.Iters == j.Params.Iters
+	}
+	return true
+}
+
+// claimCompatibleLocked removes up to maxBatch-1 jobs compatible with j
+// from the pending list and returns them, oldest first. Caller holds
+// s.mu and has already claimed j's graph slot; the claimed jobs share
+// j's entry, so the one claim covers them all.
+func (s *scheduler) claimCompatibleLocked(j *Job) []*Job {
+	if s.maxBatch <= 1 || j.kind != jobAlgo || !fusableAlgo(j.Algo) {
+		return nil
+	}
+	var extra []*Job
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if len(extra)+1 < s.maxBatch && fuseCompatible(j, p) {
+			extra = append(extra, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	// Clear the vacated tail so claimed jobs aren't pinned by the
+	// backing array.
+	for i := len(kept); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = kept
+	return extra
+}
+
+// laneCanceller routes per-job cancellation into a fused run. Requests
+// arriving before the engine binds its BatchControl are buffered and
+// replayed at bind time; once every lane has been cancelled the whole
+// run's context is cancelled so the engine stops instead of iterating a
+// fully-dead batch.
+type laneCanceller struct {
+	mu        sync.Mutex
+	ctrl      nxgraph.BatchControl
+	buffered  []int
+	cancelled int
+	width     int
+	cancelAll context.CancelFunc
+}
+
+// cancelLane cancels lane l (called at most once per lane — the job's
+// cancelReq flag dedupes).
+func (lc *laneCanceller) cancelLane(l int) {
+	lc.mu.Lock()
+	if lc.ctrl != nil {
+		lc.ctrl.CancelLane(l)
+	} else {
+		lc.buffered = append(lc.buffered, l)
+	}
+	lc.cancelled++
+	all := lc.cancelled >= lc.width
+	lc.mu.Unlock()
+	if all {
+		lc.cancelAll()
+	}
+}
+
+// bind wires the engine's control surface and replays buffered requests.
+func (lc *laneCanceller) bind(ctrl nxgraph.BatchControl) {
+	lc.mu.Lock()
+	lc.ctrl = ctrl
+	for _, l := range lc.buffered {
+		ctrl.CancelLane(l)
+	}
+	lc.buffered = nil
+	lc.mu.Unlock()
+}
+
+// fusedResult shapes one lane's engine result into the serving form,
+// mirroring the scalar algoFunc for the same algorithm.
+func fusedResult(algo string, res *nxgraph.Result) *Result {
+	switch algo {
+	case "bfs":
+		out := fromEngineResult("bfs", "depth", res)
+		out.Values = sanitizeInf(out.Values)
+		out.Ascending = true
+		return out
+	case "sssp":
+		out := fromEngineResult("sssp", "distance", res)
+		out.Values = sanitizeInf(out.Values)
+		out.Ascending = true
+		return out
+	default: // ppr
+		return fromEngineResult("ppr", "score", res)
+	}
+}
+
+// executeFused runs lead plus the claimed compatible jobs as one fused
+// engine batch. The caller (worker) holds the entry's busy claim, which
+// is released here exactly as in execute.
+func (s *scheduler) executeFused(lead *Job, extra []*Job) {
+	defer func() {
+		s.mu.Lock()
+		lead.entry.busy.Store(false)
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	// Transition every claimed job to Running; jobs cancelled while
+	// queued are already terminal and drop out of the batch.
+	start := time.Now()
+	var live []*Job
+	for _, j := range append([]*Job{lead}, extra...) {
+		j.mu.Lock()
+		if j.state != Pending {
+			j.mu.Unlock()
+			continue
+		}
+		j.state = Running
+		j.started = start
+		j.mu.Unlock()
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.stats.JobsStarted.Add(int64(len(live)))
+	s.stats.RunningJobs.Add(int64(len(live)))
+	defer s.stats.RunningJobs.Add(int64(-len(live)))
+
+	e := lead.entry
+	e.runMu.Lock()
+	if e.closed || e.draining.Load() {
+		e.runMu.Unlock()
+		now := time.Now()
+		for _, j := range live {
+			s.failJob(j, now, errors.New("server: graph closed"))
+		}
+		return
+	}
+
+	// Per-job execution-time cache check: an identical job that queued
+	// ahead may have produced a lane's result already. The delta count is
+	// read once — all lanes share one overlay snapshot, so their keys
+	// must agree on the delta state (see cacheKey for why execution-time
+	// counting is safe).
+	delta := e.deltaCount()
+	var runJobs []*Job
+	var keys []string
+	var hits []*Job
+	var hitRes []*Result
+	for _, j := range live {
+		key := cacheKey(e.uid, delta, j.Algo, j.Params)
+		if cached, ok := s.cache.get(key); ok {
+			hits = append(hits, j)
+			hitRes = append(hitRes, cached)
+			continue
+		}
+		runJobs = append(runJobs, j)
+		keys = append(keys, key)
+	}
+	s.stats.CacheHits.Add(int64(len(hits)))
+
+	var engResults []*nxgraph.Result
+	var runErr error
+	if len(runJobs) > 0 {
+		s.stats.CacheMisses.Add(int64(len(runJobs)))
+		s.stats.FusedRuns.Add(1)
+		s.stats.FusedJobs.Add(int64(len(runJobs)))
+		s.hist.BatchWidth.Observe(float64(len(runJobs)))
+
+		roots := make([]uint32, len(runJobs))
+		lc := &laneCanceller{width: len(runJobs), cancelAll: cancel}
+		for i, j := range runJobs {
+			roots[i] = j.Params.Root
+			lane := i
+			j.mu.Lock()
+			j.fusedWidth = len(runJobs)
+			if j.cancelReq {
+				// Cancelled between the Running transition and lane
+				// binding — forward the request now.
+				lc.cancelLane(lane)
+			} else {
+				j.cancel = func() { lc.cancelLane(lane) }
+			}
+			j.mu.Unlock()
+		}
+		progress := func(p nxgraph.Progress) {
+			for _, j := range runJobs {
+				j.setProgress(p)
+			}
+		}
+		g := e.live()
+		switch lead.Algo {
+		case "bfs":
+			engResults, runErr = g.BFSBatchContext(ctx, roots, progress, lc.bind)
+		case "sssp":
+			engResults, runErr = g.SSSPBatchContext(ctx, roots, progress, lc.bind)
+		default: // ppr
+			engResults, runErr = g.PersonalizedPageRankBatchContext(ctx, roots, lead.Params.Damping, lead.Params.Iters, progress, lc.bind)
+		}
+		if runErr == nil {
+			for i := range runJobs {
+				if engResults[i] != nil {
+					s.cache.put(keys[i], fusedResult(lead.Algo, engResults[i]))
+				}
+			}
+		}
+	}
+	e.runMu.Unlock()
+
+	now := time.Now()
+	elapsed := now.Sub(start)
+	for i, j := range hits {
+		s.finishJob(j, now, hitRes[i], true)
+	}
+	var width, done int
+	if len(runJobs) > 0 {
+		width = len(runJobs)
+		var tracedOnce bool
+		for i, j := range runJobs {
+			switch {
+			case runErr != nil && errors.Is(runErr, context.Canceled):
+				s.cancelFinishedJob(j, now)
+			case runErr != nil:
+				s.failJob(j, now, runErr)
+			case engResults[i] == nil: // lane cancelled mid-run
+				s.cancelFinishedJob(j, now)
+			default:
+				res := fusedResult(lead.Algo, engResults[i])
+				s.finishJob(j, now, res, false)
+				s.stats.EdgesTraversed.Add(res.EdgesTraversed)
+				done++
+				if !tracedOnce {
+					// The batch shares one trace; fold it into the
+					// histograms once, not once per lane.
+					s.hist.JobDuration.Observe(elapsed.Seconds())
+					s.observeTrace(engResults[i].Trace)
+					tracedOnce = true
+				}
+			}
+		}
+	}
+	s.log.Info("fused run finished",
+		"graph", lead.Graph, "algo", lead.Algo,
+		"width", width, "cache_hits", len(hits), "completed", done,
+		"duration_ms", elapsed.Milliseconds(),
+	)
+}
+
+// finishJob marks j Done with res and retires it.
+func (s *scheduler) finishJob(j *Job, now time.Time, res *Result, cacheHit bool) {
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = now
+	j.state = Done
+	j.result = res
+	j.cacheHit = cacheHit
+	close(j.done)
+	j.mu.Unlock()
+	s.retire(j, res)
+	s.stats.JobsCompleted.Add(1)
+	s.logJob(j, Done, cacheHit, nil, res)
+}
+
+// cancelFinishedJob marks j Cancelled and retires it.
+func (s *scheduler) cancelFinishedJob(j *Job, now time.Time) {
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = now
+	j.state = Cancelled
+	j.err = context.Canceled
+	close(j.done)
+	j.mu.Unlock()
+	s.retire(j, nil)
+	s.stats.JobsCancelled.Add(1)
+	s.logJob(j, Cancelled, false, context.Canceled, nil)
+}
+
+// failJob marks j Failed with err and retires it.
+func (s *scheduler) failJob(j *Job, now time.Time, err error) {
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = now
+	j.state = Failed
+	j.err = err
+	close(j.done)
+	j.mu.Unlock()
+	s.retire(j, nil)
+	s.stats.JobsFailed.Add(1)
+	s.logJob(j, Failed, false, err, nil)
+}
+
+// logJob emits the per-job completion log line shared by the scalar and
+// fused paths.
+func (s *scheduler) logJob(j *Job, state State, cacheHit bool, err error, res *Result) {
+	j.mu.Lock()
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+	attrs := []any{
+		"job", j.ID, "graph", j.Graph, "algo", j.Algo,
+		"state", string(state), "cache_hit", cacheHit,
+		"duration_ms", elapsed.Milliseconds(),
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		s.log.Error("job finished", append(attrs, "error", err.Error())...)
+		return
+	}
+	if res != nil {
+		attrs = append(attrs, "iterations", res.Iterations, "edges", res.EdgesTraversed)
+	}
+	s.log.Info("job finished", attrs...)
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	nxgraph "nxgraph"
+)
+
+// holdRunSlot parks the graph's dispatch claim so submissions pile up in
+// the queue; the returned release re-opens dispatch and wakes the
+// workers. Holding the slot is how these tests make a batch of jobs
+// arrive at one worker simultaneously instead of racing execution.
+func holdRunSlot(s *Server, e *graphEntry) (release func()) {
+	e.busy.Store(true)
+	return func() {
+		// Flip under the scheduler lock: a worker's scan-then-wait runs
+		// entirely under it, so the release cannot slip into the window
+		// between a failed scan and the cond.Wait (lost wakeup).
+		s.sched.mu.Lock()
+		e.busy.Store(false)
+		s.sched.mu.Unlock()
+		s.sched.cond.Broadcast()
+	}
+}
+
+// fusedResultValues fetches a done job's full value array.
+func fusedResultValues(t *testing.T, ts *httptest.Server, id string) []float64 {
+	t.Helper()
+	code, body := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/result", nil)
+	if code != 200 {
+		t.Fatalf("result %s: status %d, body %v", id, code, body)
+	}
+	raw, _ := body["values"].([]any)
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i], _ = v.(float64)
+	}
+	return out
+}
+
+// oracleGraph opens an independent build of the deterministic test store
+// so expected values come from runs that share nothing with the server.
+func oracleGraph(t *testing.T) *nxgraph.Graph {
+	t.Helper()
+	gr, err := nxgraph.Open(buildStoreDir(t, 9), nxgraph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gr.Close() })
+	return gr
+}
+
+func fusedWidth(b map[string]any) int {
+	w, _ := b["fused_width"].(float64)
+	return int(w)
+}
+
+// TestFusedCoalescing: queued compatible PPR jobs execute as one fused
+// run, and every job's values match an independent sequential run
+// exactly.
+func TestFusedCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	e, _ := s.reg.get("g")
+	release := holdRunSlot(s, e)
+	roots := []uint32{1, 2, 3, 4}
+	ids := make([]string, len(roots))
+	for i, r := range roots {
+		ids[i] = submit(t, ts, "g", "ppr", map[string]any{"root": r})
+	}
+	release()
+	for _, id := range ids {
+		b := pollUntil(t, ts, id, terminal)
+		if b["state"] != "done" {
+			t.Fatalf("job %s: state %v, want done (%v)", id, b["state"], b["error"])
+		}
+		if fusedWidth(b) != len(roots) {
+			t.Fatalf("job %s: fused_width %d, want %d", id, fusedWidth(b), len(roots))
+		}
+	}
+	if got := s.stats.FusedRuns.Load(); got != 1 {
+		t.Fatalf("FusedRuns = %d, want 1", got)
+	}
+	if got := s.stats.FusedJobs.Load(); got != int64(len(roots)) {
+		t.Fatalf("FusedJobs = %d, want %d", got, len(roots))
+	}
+	gr := oracleGraph(t)
+	for i, id := range ids {
+		want, err := gr.PersonalizedPageRank(roots[i], 0.85, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fusedResultValues(t, ts, id)
+		if len(got) != len(want.Attrs) {
+			t.Fatalf("root %d: %d values, want %d", roots[i], len(got), len(want.Attrs))
+		}
+		for v := range got {
+			if got[v] != want.Attrs[v] {
+				t.Fatalf("root %d vertex %d: fused %v, sequential %v", roots[i], v, got[v], want.Attrs[v])
+			}
+		}
+	}
+}
+
+// TestFusedMixedAlgosNeverFuse: only same-algorithm jobs coalesce; the
+// interleaved bfs and sssp submissions each run alone.
+func TestFusedMixedAlgosNeverFuse(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	e, _ := s.reg.get("g")
+	release := holdRunSlot(s, e)
+	ppr1 := submit(t, ts, "g", "ppr", map[string]any{"root": 1})
+	bfs := submit(t, ts, "g", "bfs", map[string]any{"root": 2})
+	ppr2 := submit(t, ts, "g", "ppr", map[string]any{"root": 3})
+	sssp := submit(t, ts, "g", "sssp", map[string]any{"root": 4})
+	release()
+	for _, id := range []string{ppr1, bfs, ppr2, sssp} {
+		if b := pollUntil(t, ts, id, terminal); b["state"] != "done" {
+			t.Fatalf("job %s: state %v, want done (%v)", id, b["state"], b["error"])
+		}
+	}
+	for _, id := range []string{ppr1, ppr2} {
+		_, b := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if fusedWidth(b) != 2 {
+			t.Fatalf("ppr job %s: fused_width %d, want 2", id, fusedWidth(b))
+		}
+	}
+	for _, id := range []string{bfs, sssp} {
+		_, b := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if fusedWidth(b) != 0 {
+			t.Fatalf("job %s fused with another algorithm: fused_width %d", id, fusedWidth(b))
+		}
+	}
+	if got := s.stats.FusedRuns.Load(); got != 1 {
+		t.Fatalf("FusedRuns = %d, want 1", got)
+	}
+}
+
+// TestFusedDeltaMismatchNeverFuses: jobs that acked different delta
+// states never share a run, even when otherwise identical.
+func TestFusedDeltaMismatchNeverFuses(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	e, _ := s.reg.get("g")
+	release := holdRunSlot(s, e)
+	a := submit(t, ts, "g", "ppr", map[string]any{"root": 1})
+	code, body := doJSON(t, "POST", ts.URL+"/v1/graphs/g/edges",
+		map[string]any{"add": []map[string]any{{"src": 1, "dst": 2}}})
+	if code != 202 {
+		t.Fatalf("ingest: status %d, body %v", code, body)
+	}
+	b := submit(t, ts, "g", "ppr", map[string]any{"root": 2})
+	release()
+	for _, id := range []string{a, b} {
+		st := pollUntil(t, ts, id, terminal)
+		if st["state"] != "done" {
+			t.Fatalf("job %s: state %v, want done (%v)", id, st["state"], st["error"])
+		}
+		if fusedWidth(st) != 0 {
+			t.Fatalf("job %s fused across a delta version: fused_width %d", id, fusedWidth(st))
+		}
+	}
+	if got := s.stats.FusedRuns.Load(); got != 0 {
+		t.Fatalf("FusedRuns = %d, want 0", got)
+	}
+}
+
+// TestFusedCancelLeavesSiblings: cancelling one job of a fused batch
+// yields a cancelled job while its siblings complete with values
+// identical to independent sequential runs. Holding runMu parks the
+// batch between the Running transition and the engine run, so the
+// cancellation deterministically lands mid-batch.
+func TestFusedCancelLeavesSiblings(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	e, _ := s.reg.get("g")
+	release := holdRunSlot(s, e)
+	roots := []uint32{5, 6, 7}
+	ids := make([]string, len(roots))
+	for i, r := range roots {
+		ids[i] = submit(t, ts, "g", "ppr", map[string]any{"root": r})
+	}
+	e.runMu.Lock()
+	release()
+	pollUntil(t, ts, ids[1], stateIs("running"))
+	if code, body := doJSON(t, "POST", ts.URL+"/v1/jobs/"+ids[1]+"/cancel", nil); code != 200 {
+		t.Fatalf("cancel: status %d, body %v", code, body)
+	}
+	e.runMu.Unlock()
+
+	if b := pollUntil(t, ts, ids[1], terminal); b["state"] != "cancelled" {
+		t.Fatalf("cancelled job: state %v, want cancelled", b["state"])
+	}
+	gr := oracleGraph(t)
+	for _, i := range []int{0, 2} {
+		b := pollUntil(t, ts, ids[i], terminal)
+		if b["state"] != "done" {
+			t.Fatalf("sibling %s: state %v, want done (%v)", ids[i], b["state"], b["error"])
+		}
+		want, err := gr.PersonalizedPageRank(roots[i], 0.85, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fusedResultValues(t, ts, ids[i])
+		for v := range got {
+			if got[v] != want.Attrs[v] {
+				t.Fatalf("sibling root %d vertex %d: %v, want %v", roots[i], v, got[v], want.Attrs[v])
+			}
+		}
+	}
+}
+
+// TestFusedDisabled: MaxBatch 1 turns coalescing off entirely.
+func TestFusedDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxBatch: 1})
+	e, _ := s.reg.get("g")
+	release := holdRunSlot(s, e)
+	a := submit(t, ts, "g", "bfs", map[string]any{"root": 1})
+	b := submit(t, ts, "g", "bfs", map[string]any{"root": 2})
+	release()
+	for _, id := range []string{a, b} {
+		st := pollUntil(t, ts, id, terminal)
+		if st["state"] != "done" || fusedWidth(st) != 0 {
+			t.Fatalf("job %s: state %v fused_width %d, want done alone", id, st["state"], fusedWidth(st))
+		}
+	}
+	if got := s.stats.FusedRuns.Load(); got != 0 {
+		t.Fatalf("FusedRuns = %d, want 0", got)
+	}
+}

@@ -192,6 +192,11 @@ type Job struct {
 	Params Params `json:"params"`
 
 	kind jobKind
+	// deltaAtSubmit is the delta-op count acknowledged when the job was
+	// accepted; fused batches only combine jobs that agree on it, so a
+	// shared overlay snapshot never serves a lane missing edges its
+	// submitter had already acked.
+	deltaAtSubmit int
 
 	mu        sync.Mutex
 	state     State
@@ -204,19 +209,25 @@ type Job struct {
 	finished  time.Time
 	cancel    func() // non-nil while running
 	cancelReq bool
-	done      chan struct{}
+	// fusedWidth is the lane count of the fused engine run this job
+	// executed in (0 when it ran alone).
+	fusedWidth int
+	done       chan struct{}
 
 	entry *graphEntry
 }
 
 // Snapshot is the JSON view of a job's current state.
 type Snapshot struct {
-	ID          string       `json:"id"`
-	Graph       string       `json:"graph"`
-	Algo        string       `json:"algo"`
-	Params      Params       `json:"params"`
-	State       State        `json:"state"`
-	CacheHit    bool         `json:"cache_hit"`
+	ID       string `json:"id"`
+	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
+	Params   Params `json:"params"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	// FusedWidth is the lane count of the fused engine run that executed
+	// this job, omitted for jobs that ran alone.
+	FusedWidth  int          `json:"fused_width,omitempty"`
 	Error       string       `json:"error,omitempty"`
 	Progress    *JobProgress `json:"progress,omitempty"`
 	SubmittedAt time.Time    `json:"submitted_at"`
@@ -236,6 +247,7 @@ func (j *Job) Snapshot() Snapshot {
 		Params:      j.Params,
 		State:       j.state,
 		CacheHit:    j.cacheHit,
+		FusedWidth:  j.fusedWidth,
 		SubmittedAt: j.submitted,
 	}
 	if j.err != nil {

@@ -45,6 +45,7 @@ type scheduler struct {
 	cond          *sync.Cond // signalled on pending growth and on stop
 	pending       []*Job     // waiting jobs, oldest first
 	queueCap      int
+	maxBatch      int // fairness cap on fused batch width (1 = no fusion)
 	stopped       bool
 	jobs          map[string]*Job
 	seq           int64
@@ -58,9 +59,12 @@ type scheduler struct {
 	wg        sync.WaitGroup
 }
 
-func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *resultCache, stats *metrics.ServerStats, hist *metrics.ServerHistograms, log *slog.Logger) *scheduler {
+func newScheduler(workers, queueCap, retainJobs, maxBatch int, retainBytes int64, cache *resultCache, stats *metrics.ServerStats, hist *metrics.ServerHistograms, log *slog.Logger) *scheduler {
 	if workers <= 0 {
 		workers = 2
+	}
+	if maxBatch <= 0 {
+		maxBatch = 16
 	}
 	if hist == nil {
 		hist = metrics.NewServerHistograms()
@@ -84,6 +88,7 @@ func newScheduler(workers, queueCap, retainJobs int, retainBytes int64, cache *r
 		hist:        hist,
 		log:         log,
 		queueCap:    queueCap,
+		maxBatch:    maxBatch,
 		jobs:        make(map[string]*Job),
 		retain:      retainJobs,
 		retainBytes: retainBytes,
@@ -121,7 +126,9 @@ func (s *scheduler) submit(entry *graphEntry, algo string, params Params) (*Job,
 	// the accept checks: rejections must not consume an id, because
 	// existed() relies on "every id at or below seq was registered" to
 	// tell pruned jobs (410) apart from never-created ones (404).
-	key := cacheKey(entry.uid, entry.deltaCount(), algo, params)
+	delta := entry.deltaCount()
+	j.deltaAtSubmit = delta
+	key := cacheKey(entry.uid, delta, algo, params)
 	if res, ok := s.cache.get(key); ok {
 		j.state = Done
 		j.result = res
@@ -370,7 +377,9 @@ func (s *scheduler) cancelJob(j *Job) bool {
 // worker drains the pending list, executing one job at a time. It takes
 // the oldest job whose graph is not already running (claimed via the
 // entry's busy flag) so one graph's backlog never idles a pool slot
-// that another graph's job could use.
+// that another graph's job could use. After claiming a fusable job it
+// also claims every compatible queued job (up to the maxBatch fairness
+// cap) and runs them all as one fused engine batch.
 func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for {
@@ -397,9 +406,14 @@ func (s *scheduler) worker() {
 			}
 			s.cond.Wait()
 		}
+		extra := s.claimCompatibleLocked(j)
 		s.stats.QueueDepth.Store(int64(len(s.pending)))
 		s.mu.Unlock()
-		s.execute(j)
+		if len(extra) > 0 {
+			s.executeFused(j, extra)
+		} else {
+			s.execute(j)
+		}
 	}
 }
 

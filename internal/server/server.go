@@ -32,6 +32,12 @@ type Config struct {
 	// RetainBytes additionally bounds the result bytes pinned by
 	// retained terminal jobs (default 256 MiB).
 	RetainBytes int64
+	// MaxBatch caps how many compatible queued jobs (same graph,
+	// algorithm, parameters and delta state, differing only in root) one
+	// worker fuses into a single engine run — the fairness bound on how
+	// long a fused batch can occupy a graph's run slot (default 16; 1
+	// disables coalescing).
+	MaxBatch int
 	// DeltaThreshold is the pending-delta count that triggers automatic
 	// background compaction of a graph's delta log (default 8192;
 	// negative disables auto-compaction — manual POST .../compact still
@@ -109,7 +115,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		reg:    newRegistry(stats, blocks, logger),
-		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.RetainBytes, cache, stats, hist, logger),
+		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.MaxBatch, cfg.RetainBytes, cache, stats, hist, logger),
 		cache:  cache,
 		blocks: blocks,
 		stats:  stats,

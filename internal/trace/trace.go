@@ -58,6 +58,12 @@ const (
 	// KindOverlay covers capturing the delta-overlay snapshot at run
 	// start.
 	KindOverlay Kind = "overlay"
+	// KindLane covers one query lane of a fused batch run, from run
+	// start until the lane converges, is cancelled (Tag "cancelled"), or
+	// the run finishes; Count carries the lane's iteration count. Lane
+	// spans parent to the batch's run span, giving each fused query its
+	// own timeline entry.
+	KindLane Kind = "lane"
 )
 
 // Tag values for KindBlockLoad spans.

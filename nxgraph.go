@@ -85,6 +85,10 @@ type (
 	TraceStep = trace.StepStats
 	// TraceTimeline is a JSON-ready snapshot of a run trace.
 	TraceTimeline = trace.Timeline
+	// BatchControl is the per-lane control surface of a fused batch run
+	// (see the *Batch methods): Width reports the lane count and
+	// CancelLane cancels one query without disturbing its siblings.
+	BatchControl = engine.BatchControl
 )
 
 // Disk profiles for Options.Profile.
@@ -321,6 +325,24 @@ func (g *Graph) PersonalizedPageRankContext(ctx context.Context, root uint32, da
 	return algorithms.PersonalizedPageRankContext(ctx, g.engine, root, damping, iters, progress)
 }
 
+// PersonalizedPageRankBatch fuses one personalized PageRank query per
+// root into a single run: every decoded sub-shard block is gathered once
+// and applied to all query lanes, so a batch of b roots costs roughly
+// one graph traversal instead of b. Results come back in root order and
+// are bit-identical to running each query alone.
+func (g *Graph) PersonalizedPageRankBatch(roots []uint32, damping float64, iters int) ([]*Result, error) {
+	return algorithms.PersonalizedPageRankBatch(g.engine, roots, damping, iters)
+}
+
+// PersonalizedPageRankBatchContext is PersonalizedPageRankBatch with
+// cancellation, progress reporting, and per-lane control. ctrl, when
+// non-nil, receives the run's BatchControl before the first iteration;
+// a lane cancelled through it yields a nil slot in the result slice
+// while its siblings run to completion.
+func (g *Graph) PersonalizedPageRankBatchContext(ctx context.Context, roots []uint32, damping float64, iters int, progress ProgressFunc, ctrl func(BatchControl)) ([]*Result, error) {
+	return algorithms.PersonalizedPageRankBatchContext(ctx, g.engine, roots, damping, iters, progress, ctrl)
+}
+
 // BFS returns hop distances from root (+Inf where unreachable).
 func (g *Graph) BFS(root uint32) (*Result, error) {
 	return algorithms.BFS(g.engine, root)
@@ -329,6 +351,18 @@ func (g *Graph) BFS(root uint32) (*Result, error) {
 // BFSContext is BFS with cancellation and progress reporting.
 func (g *Graph) BFSContext(ctx context.Context, root uint32, progress ProgressFunc) (*Result, error) {
 	return algorithms.BFSContext(ctx, g.engine, root, progress)
+}
+
+// BFSBatch fuses one BFS per root into a single run; see
+// PersonalizedPageRankBatch for the fusion contract.
+func (g *Graph) BFSBatch(roots []uint32) ([]*Result, error) {
+	return algorithms.BFSBatch(g.engine, roots)
+}
+
+// BFSBatchContext is BFSBatch with cancellation, progress reporting,
+// and per-lane control (see PersonalizedPageRankBatchContext).
+func (g *Graph) BFSBatchContext(ctx context.Context, roots []uint32, progress ProgressFunc, ctrl func(BatchControl)) ([]*Result, error) {
+	return algorithms.BFSBatchContext(ctx, g.engine, roots, progress, ctrl)
 }
 
 // SSSP returns weighted shortest-path distances from root (+Inf where
@@ -340,6 +374,18 @@ func (g *Graph) SSSP(root uint32) (*Result, error) {
 // SSSPContext is SSSP with cancellation and progress reporting.
 func (g *Graph) SSSPContext(ctx context.Context, root uint32, progress ProgressFunc) (*Result, error) {
 	return algorithms.SSSPContext(ctx, g.engine, root, progress)
+}
+
+// SSSPBatch fuses one SSSP per root into a single run; see
+// PersonalizedPageRankBatch for the fusion contract.
+func (g *Graph) SSSPBatch(roots []uint32) ([]*Result, error) {
+	return algorithms.SSSPBatch(g.engine, roots)
+}
+
+// SSSPBatchContext is SSSPBatch with cancellation, progress reporting,
+// and per-lane control (see PersonalizedPageRankBatchContext).
+func (g *Graph) SSSPBatchContext(ctx context.Context, roots []uint32, progress ProgressFunc, ctrl func(BatchControl)) ([]*Result, error) {
+	return algorithms.SSSPBatchContext(ctx, g.engine, roots, progress, ctrl)
 }
 
 // WCC labels every vertex with the smallest id in its weakly connected
