@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps       = flag.String("exp", "all", "comma-separated: table2,fig6,table4,fig7,fig8,fig9,fig10,fig11,fig12,table5,table6, 'all', or 'none' (with -trace)")
+		exps       = flag.String("exp", "all", "comma-separated: table2,fig6,table4,fig7,fig8,fig9,fig10,fig11,fig12,table5,table6,soak, 'all' (everything except soak), or 'none' (with -trace)")
 		scaleDelta = flag.Int("scale-delta", 0, "dataset scale adjustment (negative shrinks)")
 		threads    = flag.Int("threads", 4, "worker threads")
 		iters      = flag.Int("iters", 10, "PageRank iterations")
@@ -33,6 +34,7 @@ func main() {
 		showTrace  = flag.Bool("trace", false, "run a traced PageRank and print its per-iteration compute-vs-stall breakdown")
 		batch      = flag.Int("batch", 0, "run N personalized PageRank queries sequentially vs as one fused batch and print the speedup (0 = skip)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	)
 	flag.Parse()
 
@@ -114,6 +116,11 @@ func main() {
 	if sel("table6") {
 		show(s.Table6())
 	}
+	// The soak profile streams hundreds of MB through the simulated
+	// disk, so it only runs when named explicitly, never under 'all'.
+	if want["soak"] {
+		show(s.Soak())
+	}
 	if *showTrace {
 		show(s.TraceRun())
 	}
@@ -122,5 +129,18 @@ func main() {
 	}
 	if sum := s.CacheSummary(); sum != "" {
 		fmt.Println(sum)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nxbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nxbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	nxgraph "nxgraph"
@@ -34,11 +36,39 @@ func main() {
 		profile  = flag.String("disk", "none", "simulated disk: none | ssd | hdd")
 		topk     = flag.Int("top", 10, "print top-K vertices (pagerank, hits)")
 		showTr   = flag.Bool("trace", false, "print per-iteration compute-vs-stall breakdown")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "nxrun: -store is required")
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nxrun:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nxrun:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nxrun:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nxrun:", err)
+			}
+		}()
 	}
 	budget, err := metrics.ParseBytes(*mem)
 	if err != nil {

@@ -25,6 +25,17 @@ func (sumProg) Apply(v uint32, old, acc float64) (float64, bool) {
 }
 func (sumProg) DenseApply() {}
 
+// FusedKernelHint declares the copy-and-add gather form so runs
+// specialize the SpMV inner loop.
+func (sumProg) FusedKernelHint() engine.KernelHint { return engine.KernelCopySum }
+
+// ApplyLane implements engine.LaneApplier: Apply keeps the accumulated
+// sum (already in next) and reports change for every vertex, so any
+// non-empty range changed.
+func (sumProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	return v1 > v0
+}
+
 // HITS runs iters iterations of Kleinberg's hubs-and-authorities
 // computation with L2 normalization after every half-step, matching
 // refalgo.HITS. It requires a store preprocessed with Transpose and

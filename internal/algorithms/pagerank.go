@@ -77,17 +77,38 @@ func (p *pageRankProg) AggVertex(v uint32, attr float64, deg uint32) float64 {
 func (p *pageRankProg) AggCombine(a, b float64) float64 { return a + b }
 func (p *pageRankProg) SetGlobal(g float64)             { p.dangling = g }
 
-// AggLane implements engine.LaneAggregator for fused runs; see
-// pprProg.AggLane for why skipping non-dangling vertices reproduces the
-// scalar fold bit-for-bit. (Apply keeps the generic per-vertex path —
-// its convergence tracking carries atomic state that a strided loop
-// would not speed up.)
+// AggLane implements engine.LaneAggregator; see pprProg.AggLane for why
+// skipping non-dangling vertices reproduces the scalar fold bit-for-bit.
 func (p *pageRankProg) AggLane(curr []float64, stride, off int, deg []uint32) float64 {
 	val := 0.0
 	for _, v := range p.dang.indexFor(deg) {
 		val += curr[int(v)*stride+off]
 	}
 	return val
+}
+
+// ApplyLane implements engine.LaneApplier. The two per-iteration
+// constants hoist out of the loop — computed with exactly Apply's
+// operations, so each vertex's rank is bit-identical — and the atomic
+// convergence delta updates once per range instead of once per vertex
+// (updateDelta keeps a max, and the max of per-vertex deltas is the
+// range's local max).
+func (p *pageRankProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	base := (1 - p.damping) / p.n
+	dm := p.dangling / p.n
+	maxd := 0.0
+	for v := v0; v < v1; v++ {
+		idx := int(v)*stride + off
+		nv := base + p.damping*(dm+next[idx])
+		if d := math.Abs(nv - curr[idx]); d > maxd {
+			maxd = d
+		}
+		next[idx] = nv
+	}
+	if maxd > 0 {
+		p.updateDelta(maxd)
+	}
+	return v1 > v0
 }
 
 // PageRank runs exactly iters power iterations and returns per-vertex

@@ -161,6 +161,17 @@ func (degreeCountProg) Apply(v uint32, old, acc float64) (float64, bool) {
 }
 func (degreeCountProg) DenseApply() {}
 
+// FusedKernelHint declares the count-and-add gather form so runs
+// specialize the live-degree inner loop (KCore peeling re-runs it every
+// round).
+func (degreeCountProg) FusedKernelHint() engine.KernelHint { return engine.KernelCountSum }
+
+// ApplyLane implements engine.LaneApplier: Apply keeps the accumulated
+// count (already in next) and never reports change.
+func (degreeCountProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	return false
+}
+
 // trimOnce assigns singleton SCCs to unmasked vertices with zero live
 // in-degree or zero live out-degree, returning how many were trimmed.
 func trimOnce(ctx context.Context, e *engine.Engine, mask *bitset.Set, res *SCCResult, progress engine.ProgressFunc) (int, error) {
@@ -216,11 +227,33 @@ func (colorProg) Gather(srcAttr float64, _ uint32, _ float32) float64 {
 	return srcAttr
 }
 func (colorProg) Sum(a, b float64) float64 { return math.Max(a, b) }
+
+// FusedKernelHint declares the copy-and-max gather form so runs
+// specialize the coloring inner loop.
+func (colorProg) FusedKernelHint() engine.KernelHint { return engine.KernelMaxFold }
+
 func (colorProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	if acc > old {
 		return acc, true
 	}
 	return old, false
+}
+
+// ApplyLane implements engine.LaneApplier: max-relaxation, the mirror of
+// wccProg.ApplyLane. (SCC's masked fixpoints fall back to the generic
+// per-vertex path — the engine only lanes unmasked applies — so this
+// serves mask-free colorings.)
+func (colorProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		idx := int(v)*stride + off
+		if next[idx] > curr[idx] {
+			changed = true
+		} else {
+			next[idx] = curr[idx]
+		}
+	}
+	return changed
 }
 
 func colorFixpoint(ctx context.Context, e *engine.Engine, mask *bitset.Set, res *SCCResult, progress engine.ProgressFunc) ([]float64, error) {

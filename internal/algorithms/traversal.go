@@ -163,11 +163,30 @@ func (wccProg) Gather(srcAttr float64, _ uint32, _ float32) float64 { return src
 
 func (wccProg) Sum(a, b float64) float64 { return math.Min(a, b) }
 
+// FusedKernelHint declares the copy-and-min gather form so runs
+// specialize the label-propagation inner loop.
+func (wccProg) FusedKernelHint() engine.KernelHint { return engine.KernelMinFold }
+
 func (wccProg) Apply(v uint32, old, acc float64) (float64, bool) {
 	if acc < old {
 		return acc, true
 	}
 	return old, false
+}
+
+// ApplyLane implements engine.LaneApplier; the min-relaxation matches
+// bfsProg.ApplyLane.
+func (wccProg) ApplyLane(curr, next []float64, stride, off int, v0, v1 uint32) bool {
+	changed := false
+	for v := v0; v < v1; v++ {
+		idx := int(v)*stride + off
+		if next[idx] < curr[idx] {
+			changed = true
+		} else {
+			next[idx] = curr[idx]
+		}
+	}
+	return changed
 }
 
 // WCC labels every vertex with the smallest vertex id in its weakly

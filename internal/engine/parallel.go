@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -42,7 +43,9 @@ func parallelFor(threads, n int, fn func(i int)) {
 }
 
 // chunkRanges splits [0, n) into ranges of at most size, returning the
-// boundaries (len = number of chunks + 1).
+// boundaries (len = number of chunks + 1). n = 0 has zero chunks, so the
+// result is the canonical single boundary [0] — callers iterating
+// len(bounds)-1 chunks schedule nothing instead of one empty chunk.
 func chunkRanges(n, size int) []int {
 	if size <= 0 {
 		size = 1
@@ -55,8 +58,36 @@ func chunkRanges(n, size int) []int {
 		}
 		bounds = append(bounds, b)
 	}
-	if n == 0 {
-		bounds = append(bounds, 0)
+	return bounds
+}
+
+// edgeChunkRanges splits the destinations of a CSR (offsets has one entry
+// per destination plus a final edge count) into chunks of roughly equal
+// work, returning destination-index boundaries like chunkRanges. The cost
+// of destination k is 1 + its edge count, so a chunk closes at the first
+// destination where accumulated edges + destinations reaches target —
+// a hub destination with a million in-edges gets a chunk of its own while
+// sparse destinations pack thousands to a chunk. Boundaries stay at
+// destination granularity (a single destination's fold is one
+// left-associative chain and cannot split), so chunking never affects
+// results, only load balance.
+func edgeChunkRanges(offsets []uint32, target int) []int {
+	n := len(offsets) - 1
+	if n <= 0 {
+		return []int{0}
+	}
+	if target <= 0 {
+		target = 1
+	}
+	cost := func(k int) int { return int(offsets[k]) + k } // prefix cost: edges so far + destinations so far
+	bounds := make([]int, 1, 2+cost(n)/target)
+	for k := 0; k < n; {
+		want := cost(k) + target
+		// First boundary past k whose prefix cost reaches want; cost is
+		// strictly increasing in k, so binary search applies.
+		nk := k + 1 + sort.Search(n-k-1, func(i int) bool { return cost(k+1+i) >= want })
+		bounds = append(bounds, nk)
+		k = nk
 	}
 	return bounds
 }

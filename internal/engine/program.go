@@ -62,39 +62,57 @@ type DenseApply interface {
 }
 
 // KernelHint names the functional form of a Program's Gather/Sum pair.
-// A fused batch run (see BatchRun) whose lanes all declare the same
-// non-generic hint executes a specialized multi-lane inner loop with no
-// per-edge interface dispatch. Each specialized kernel performs exactly
-// the floating-point operations the declared Gather/Sum would, in the
-// same order, so per-lane results stay bit-identical to scalar runs; a
-// program must only declare a hint whose form its methods match exactly.
+// Both single-query runs (Run) and fused batch runs (BatchRun) use the
+// hint to select a specialized inner loop with no per-edge interface
+// dispatch (see scalar_kernels.go and batch_kernels.go). Each
+// specialized kernel performs exactly the floating-point operations the
+// declared Gather/Sum would, in the same order, so results stay
+// bit-identical to the generic interface path; a program must only
+// declare a hint whose form its methods — including Zero, the identity
+// of Sum — match exactly.
 type KernelHint int
 
 const (
-	// KernelGeneric makes no claim: fused gathering dispatches through
-	// the Program interface per edge per lane.
+	// KernelGeneric makes no claim: gathering dispatches through the
+	// Program interface per edge.
 	KernelGeneric KernelHint = iota
-	// KernelRankSum claims Gather(a, deg, w) == a/float64(deg) and
-	// Sum(x, y) == x+y — the PageRank family.
+	// KernelRankSum claims Gather(a, deg, w) == a/float64(deg),
+	// Sum(x, y) == x+y and Zero == 0 — the PageRank family.
 	KernelRankSum
-	// KernelHopMin claims Gather(a, deg, w) == a+1 and
-	// Sum(x, y) == math.Min(x, y) — BFS.
+	// KernelHopMin claims Gather(a, deg, w) == a+1,
+	// Sum(x, y) == math.Min(x, y) and Zero == +Inf — BFS.
 	KernelHopMin
-	// KernelDistMin claims Gather(a, deg, w) == a+float64(w) and
-	// Sum(x, y) == math.Min(x, y) — SSSP.
+	// KernelDistMin claims Gather(a, deg, w) == a+float64(w),
+	// Sum(x, y) == math.Min(x, y) and Zero == +Inf — SSSP.
 	KernelDistMin
+	// KernelMinFold claims Gather(a, deg, w) == a,
+	// Sum(x, y) == math.Min(x, y) and Zero == +Inf — WCC's min-label
+	// propagation.
+	KernelMinFold
+	// KernelMaxFold claims Gather(a, deg, w) == a,
+	// Sum(x, y) == math.Max(x, y) and Zero == -Inf — SCC's forward
+	// max-coloring.
+	KernelMaxFold
+	// KernelCountSum claims Gather(a, deg, w) == 1, Sum(x, y) == x+y and
+	// Zero == 0 — the live-degree counts of SCC trim and KCore peeling.
+	KernelCountSum
+	// KernelCopySum claims Gather(a, deg, w) == a, Sum(x, y) == x+y and
+	// Zero == 0 — HITS' SpMV half-steps.
+	KernelCopySum
 )
 
 // FusedKernel is an optional Program extension declaring the kernel
-// hint a fused batch run may specialize on.
+// hint a run (single-query or fused batch) may specialize on.
 type FusedKernel interface {
 	FusedKernelHint() KernelHint
 }
 
-// LaneApplier is an optional Program extension for fused batch runs: it
-// applies a whole strided vertex range in one call instead of one Apply
-// call per vertex. curr/next are the batch's SoA arrays; the program's
-// state for vertex v lives at index int(v)*stride+off. The
+// LaneApplier is an optional Program extension that applies a whole
+// strided vertex range in one call instead of one Apply call per vertex.
+// Fused batch runs pass their SoA arrays with stride = lane count;
+// single-query runs pass their flat attribute arrays with stride 1 (off
+// may then be negative: a window with base b uses off = -b). curr/next
+// hold the program's state for vertex v at index int(v)*stride+off. The
 // implementation must perform, per vertex in ascending order, exactly
 // the floating-point operations Apply(v, curr[idx], next[idx]) would and
 // store the result in next[idx], returning whether any vertex changed —

@@ -50,6 +50,31 @@ type Run struct {
 	threads int
 	chunk   int
 
+	// hint is the program's declared kernel form (KernelGeneric without
+	// one); la/laggr are its optional lane-wise apply and aggregate
+	// specializations. chunkCost is the edge-balanced task size: a gather
+	// chunk closes once edges + destinations reaches it (see
+	// edgeChunkRanges).
+	hint      KernelHint
+	la        LaneApplier
+	laggr     LaneAggregator
+	chunkCost int
+
+	// useScaled marks a single-direction RankSum run: the per-edge
+	// division Gather performs is hoisted into scaled (resident vertices)
+	// and scaledBuf (streamed-interval scratch), refreshed each iteration
+	// with exactly the operands Gather would use, so the edge loop
+	// degenerates to the copy-sum fold.
+	useScaled bool
+	scaled    []float64
+	scaledBuf []float64
+
+	// nextZeroed records the invariant "r.next holds Zero everywhere in
+	// [0, resEnd)": true after a completed step (the apply phase re-zeroes
+	// the outgoing curr array cache-hot), false initially and after an
+	// aborted step.
+	nextZeroed bool
+
 	curr, next []float64
 	active     []bool
 	mask       *bitset.Set
@@ -133,6 +158,24 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 	if _, ok := p.(DenseApply); ok || r.agg != nil {
 		r.dense = true
 	}
+	if fk, ok := p.(FusedKernel); ok {
+		r.hint = fk.FusedKernelHint()
+	}
+	if la, ok := p.(LaneApplier); ok {
+		r.la = la
+	}
+	if lg, ok := p.(LaneAggregator); ok {
+		r.laggr = lg
+	}
+	// One destination costs ~1 unit of task overhead plus one unit per
+	// in-edge; 4x the destination-count chunk size keeps task counts
+	// comparable to the old chunking on typical sparse cells while
+	// splitting hub-heavy ranges by edge mass.
+	r.chunkCost = 4 * r.chunk
+	// The division hoist needs one degree array per source attribute, so
+	// it is limited to single-direction runs; the source-sorted ablation
+	// keeps the paper's unmodified per-edge form.
+	r.useScaled = r.hint == KernelRankSum && len(r.dirsUsed()) == 1 && e.cfg.Order != SrcSortedCoarse
 	size := m.IntervalSize()
 	r.resEnd = uint32(q) * size
 	if r.resEnd > m.NumVertices {
@@ -152,6 +195,10 @@ func (e *Engine) NewRun(p Program, dir Direction) (*Run, error) {
 	r.loadBuf = make([]float64, maxLen)
 	r.accBuf = make([]float64, maxLen)
 	r.oldBuf = make([]float64, maxLen)
+	if r.useScaled {
+		r.scaled = make([]float64, r.resEnd)
+		r.scaledBuf = make([]float64, maxLen)
+	}
 
 	if err := r.initAttrs(); err != nil {
 		r.Close()

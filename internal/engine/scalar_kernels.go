@@ -1,0 +1,461 @@
+package engine
+
+import (
+	"math"
+
+	"nxgraph/internal/bitset"
+	"nxgraph/internal/storage"
+)
+
+// This file holds the devirtualized single-query gather kernels: the
+// scalar counterpart of batch_kernels.go. A Program that declares a
+// KernelHint gets its per-edge Gather/Sum pair compiled into a direct
+// arithmetic loop — no interface dispatch per edge — selected once per
+// task at build time (see gatherTasks/hubTasks in step.go).
+//
+// Each hint maps to a scalarFold, the concrete fold loop for one
+// (Gather, Sum, Zero) triple. The mapping happens per sub-shard cell, so
+// per-cell facts fold into the selection too: KernelDistMin on an
+// unweighted cell resolves to the hop fold (float64(float32(1)) == 1),
+// and KernelRankSum resolves to the plain copy-sum fold when the run
+// hoisted the per-edge division into a scaled attribute array (see
+// Run.refreshScaled).
+//
+// Every fold performs, per destination, exactly the floating-point
+// operations the generic gatherCSR/gatherToHub would: a left-associative
+// fold over the destination's in-edges starting from Zero, then one Sum
+// into the accumulator (or an assignment into the hub array). The
+// e = 1/2/3 unrolls in the add-family folds write that exact chain out
+// literally — 0 + g1 + g2 is ((0+g1)+g2), identity additions included,
+// so results stay bit-identical even for -0 inputs. Equivalence is
+// enforced by TestScalarKernelsMatchGeneric and the algorithm-level
+// suite in internal/algorithms.
+//
+// A note on mechanism: these loops are hand-monomorphized rather than
+// instantiated from one generic function over a fold typeclass. Go's
+// gcshape stenciling compiles type-parameterized bodies against
+// dictionaries, leaving the per-edge method calls indirect — measured at
+// ~4x the cost of the direct loops below. See
+// docs/adr/ADR-002-scalar-kernels.md.
+
+// scalarFold identifies one specialized fold loop.
+type scalarFold uint8
+
+const (
+	foldNone     scalarFold = iota // no specialization: generic interface path
+	foldCopySum                    // Gather a        Sum +    Zero 0
+	foldRankSum                    // Gather a/deg    Sum +    Zero 0
+	foldCountSum                   // Gather 1        Sum +    Zero 0
+	foldMin                        // Gather a        Sum min  Zero +Inf
+	foldMax                        // Gather a        Sum max  Zero -Inf
+	foldHopMin                     // Gather a+1      Sum min  Zero +Inf
+	foldDistMin                    // Gather a+w      Sum min  Zero +Inf (weighted cells)
+)
+
+// scalarFoldFor maps a program hint to the fold loop for one cell.
+// scaled reports whether the source view holds pre-divided rank
+// contributions (RankSum's division hoisted per iteration); weighted
+// reports whether the cell carries per-edge weights.
+func scalarFoldFor(hint KernelHint, scaled, weighted bool) scalarFold {
+	switch hint {
+	case KernelRankSum:
+		if scaled {
+			return foldCopySum
+		}
+		return foldRankSum
+	case KernelHopMin:
+		return foldHopMin
+	case KernelDistMin:
+		if !weighted {
+			return foldHopMin // Gather(a, _, 1) == a + float64(float32(1)) == a+1
+		}
+		return foldDistMin
+	case KernelMinFold:
+		return foldMin
+	case KernelMaxFold:
+		return foldMax
+	case KernelCountSum:
+		return foldCountSum
+	case KernelCopySum:
+		return foldCopySum
+	}
+	return foldNone
+}
+
+// sumFoldFor maps a hint to the fold of its Sum alone — the FromHub
+// kernel folds pre-gathered partials, so only the combine op matters.
+func sumFoldFor(hint KernelHint) scalarFold {
+	switch hint {
+	case KernelRankSum, KernelCountSum, KernelCopySum:
+		return foldCopySum
+	case KernelHopMin, KernelDistMin, KernelMinFold:
+		return foldMin
+	case KernelMaxFold:
+		return foldMax
+	}
+	return foldNone
+}
+
+// delPred is the overlay tombstone predicate threaded through the gather
+// kernels (nil for cells without pending removals).
+type delPred = func(src, dst uint32) bool
+
+// gatherSpec is the specialized counterpart of gatherCSR and gatherToHub
+// in one: it folds destinations [k0, k1) of ss with fold f. When hub is
+// non-nil the per-destination partial is assigned to hub[k] (the ToHub
+// kernel); otherwise it is Sum-folded into acc. The fold dispatch and
+// the mask/del presence check run once per call — a task covers
+// thousands of edges — so the inner loops carry no per-edge nil tests
+// beyond what filtering itself requires.
+func gatherSpec(f scalarFold, deg []uint32, mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int) {
+	switch f {
+	case foldCopySum:
+		gatherCopySum(mask, del, ss, src, acc, hub, k0, k1)
+	case foldRankSum:
+		gatherRankSumScalar(deg, mask, del, ss, src, acc, hub, k0, k1)
+	case foldCountSum:
+		gatherCountSum(mask, del, ss, acc, hub, k0, k1)
+	case foldMin:
+		gatherMinMax(mask, del, ss, src, acc, hub, k0, k1, false)
+	case foldMax:
+		gatherMinMax(mask, del, ss, src, acc, hub, k0, k1, true)
+	case foldHopMin:
+		gatherHopMin(mask, del, ss, src, acc, hub, k0, k1)
+	case foldDistMin:
+		gatherDistMin(mask, del, ss, src, acc, hub, k0, k1)
+	}
+}
+
+// gatherCopySum: local = 0 + a1 + a2 + ... over the destination's
+// in-edges. Serves KernelCopySum directly and KernelRankSum over a
+// scaled source view.
+func gatherCopySum(mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int) {
+	if mask != nil || del != nil {
+		for k := k0; k < k1; k++ {
+			d := ss.Dsts[k]
+			local := 0.0
+			for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+				s := ss.Srcs[t]
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+				local += src.at(s)
+			}
+			if hub != nil {
+				hub[k] = local
+			} else {
+				acc.vals[d-acc.base] += local
+			}
+		}
+		return
+	}
+	srcs, vals, base := ss.Srcs, src.vals, src.base
+	for k := k0; k < k1; k++ {
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		var local float64
+		switch hi - lo {
+		case 0:
+			local = 0
+		case 1:
+			local = 0 + vals[srcs[lo]-base]
+		case 2:
+			local = 0 + vals[srcs[lo]-base] + vals[srcs[lo+1]-base]
+		case 3:
+			local = 0 + vals[srcs[lo]-base] + vals[srcs[lo+1]-base] + vals[srcs[lo+2]-base]
+		default:
+			local = 0
+			for t := lo; t < hi; t++ {
+				local += vals[srcs[t]-base]
+			}
+		}
+		if hub != nil {
+			hub[k] = local
+		} else {
+			acc.vals[ss.Dsts[k]-acc.base] += local
+		}
+	}
+}
+
+// gatherRankSumScalar: local = 0 + a1/deg1 + a2/deg2 + ... — the
+// un-hoisted rank fold, used when the run cannot maintain a scaled view
+// (multi-direction runs; the source-sorted ablation).
+func gatherRankSumScalar(deg []uint32, mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int) {
+	if mask != nil || del != nil {
+		for k := k0; k < k1; k++ {
+			d := ss.Dsts[k]
+			local := 0.0
+			for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+				s := ss.Srcs[t]
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+				local += src.at(s) / float64(deg[s])
+			}
+			if hub != nil {
+				hub[k] = local
+			} else {
+				acc.vals[d-acc.base] += local
+			}
+		}
+		return
+	}
+	srcs, vals, base := ss.Srcs, src.vals, src.base
+	for k := k0; k < k1; k++ {
+		lo, hi := ss.Offsets[k], ss.Offsets[k+1]
+		var local float64
+		switch hi - lo {
+		case 0:
+			local = 0
+		case 1:
+			s0 := srcs[lo]
+			local = 0 + vals[s0-base]/float64(deg[s0])
+		case 2:
+			s0, s1 := srcs[lo], srcs[lo+1]
+			local = 0 + vals[s0-base]/float64(deg[s0]) + vals[s1-base]/float64(deg[s1])
+		default:
+			local = 0
+			for t := lo; t < hi; t++ {
+				s := srcs[t]
+				local += vals[s-base] / float64(deg[s])
+			}
+		}
+		if hub != nil {
+			hub[k] = local
+		} else {
+			acc.vals[ss.Dsts[k]-acc.base] += local
+		}
+	}
+}
+
+// gatherCountSum: local = 0 + 1 + 1 + ... — integer-valued float64
+// additions are exact far past any edge count, so the unfiltered fold is
+// just float64(edge count), bit-identical to the serial chain.
+func gatherCountSum(mask *bitset.Set, del delPred, ss *storage.SubShard, acc view, hub []float64, k0, k1 int) {
+	if mask != nil || del != nil {
+		for k := k0; k < k1; k++ {
+			d := ss.Dsts[k]
+			n := 0
+			for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+				s := ss.Srcs[t]
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+				n++
+			}
+			if hub != nil {
+				hub[k] = float64(n)
+			} else {
+				acc.vals[d-acc.base] += float64(n)
+			}
+		}
+		return
+	}
+	for k := k0; k < k1; k++ {
+		local := float64(ss.Offsets[k+1] - ss.Offsets[k])
+		if hub != nil {
+			hub[k] = local
+		} else {
+			acc.vals[ss.Dsts[k]-acc.base] += local
+		}
+	}
+}
+
+// gatherMinMax: local = min(...min(Zero, a1)..., ae) (or max), the label
+// propagation folds of WCC and SCC coloring. Min chains are a dependent
+// sequence, so there is nothing to unroll — the win is the direct
+// math.Min call in place of two interface dispatches.
+func gatherMinMax(mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int, isMax bool) {
+	zero := math.Inf(1)
+	if isMax {
+		zero = math.Inf(-1)
+	}
+	filtered := mask != nil || del != nil
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		local := zero
+		for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+			s := ss.Srcs[t]
+			if filtered {
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+			}
+			if isMax {
+				local = math.Max(local, src.at(s))
+			} else {
+				local = math.Min(local, src.at(s))
+			}
+		}
+		if hub != nil {
+			hub[k] = local
+		} else if isMax {
+			acc.vals[d-acc.base] = math.Max(acc.vals[d-acc.base], local)
+		} else {
+			acc.vals[d-acc.base] = math.Min(acc.vals[d-acc.base], local)
+		}
+	}
+}
+
+// gatherHopMin: local = min(local, a+1) — BFS, and SSSP over unweighted
+// cells (where Gather's float64(float32(1)) step is exactly 1).
+func gatherHopMin(mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int) {
+	filtered := mask != nil || del != nil
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		local := math.Inf(1)
+		for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+			s := ss.Srcs[t]
+			if filtered {
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+			}
+			local = math.Min(local, src.at(s)+1)
+		}
+		if hub != nil {
+			hub[k] = local
+		} else {
+			acc.vals[d-acc.base] = math.Min(acc.vals[d-acc.base], local)
+		}
+	}
+}
+
+// gatherDistMin: local = min(local, a+float64(w)) — weighted SSSP. Only
+// selected for cells with a weight array.
+func gatherDistMin(mask *bitset.Set, del delPred, ss *storage.SubShard, src view, acc view, hub []float64, k0, k1 int) {
+	filtered := mask != nil || del != nil
+	ws := ss.Weights
+	for k := k0; k < k1; k++ {
+		d := ss.Dsts[k]
+		local := math.Inf(1)
+		for t := ss.Offsets[k]; t < ss.Offsets[k+1]; t++ {
+			s := ss.Srcs[t]
+			if filtered {
+				if mask != nil && mask.Test(int(s)) {
+					continue
+				}
+				if del != nil && del(s, d) {
+					continue
+				}
+			}
+			local = math.Min(local, src.at(s)+float64(ws[t]))
+		}
+		if hub != nil {
+			hub[k] = local
+		} else {
+			acc.vals[d-acc.base] = math.Min(acc.vals[d-acc.base], local)
+		}
+	}
+}
+
+// gatherSrcSortedSpec is the specialized counterpart of gatherSrcSorted
+// (the Table IV ablation path): per-edge scatter in source order.
+// Destinations arrive in effectively random order, so the per-edge
+// filter checks stay, but the fold ops are direct. Reports false when f
+// has no specialization (caller falls back to the generic scatter).
+func gatherSrcSortedSpec(f scalarFold, deg []uint32, mask *bitset.Set, e *srcSortedEdges, src, acc view) bool {
+	switch f {
+	case foldCopySum:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			acc.vals[e.dsts[t]-acc.base] += src.at(s)
+		}
+	case foldRankSum:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			acc.vals[e.dsts[t]-acc.base] += src.at(s) / float64(deg[s])
+		}
+	case foldCountSum:
+		for t := range e.srcs {
+			if mask != nil && mask.Test(int(e.srcs[t])) {
+				continue
+			}
+			acc.vals[e.dsts[t]-acc.base]++
+		}
+	case foldMin:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			i := e.dsts[t] - acc.base
+			acc.vals[i] = math.Min(acc.vals[i], src.at(s))
+		}
+	case foldMax:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			i := e.dsts[t] - acc.base
+			acc.vals[i] = math.Max(acc.vals[i], src.at(s))
+		}
+	case foldHopMin:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			i := e.dsts[t] - acc.base
+			acc.vals[i] = math.Min(acc.vals[i], src.at(s)+1)
+		}
+	case foldDistMin:
+		for t := range e.srcs {
+			s := e.srcs[t]
+			if mask != nil && mask.Test(int(s)) {
+				continue
+			}
+			i := e.dsts[t] - acc.base
+			acc.vals[i] = math.Min(acc.vals[i], src.at(s)+float64(e.ws[t]))
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// foldHubSpec is the specialized FromHub kernel: Sum pre-gathered hub
+// partials into the dense accumulator. Reports false when f has no
+// specialization.
+func foldHubSpec(f scalarFold, dsts []uint32, vals []float64, acc view, k0, k1 int) bool {
+	switch f {
+	case foldCopySum:
+		for k := k0; k < k1; k++ {
+			acc.vals[dsts[k]-acc.base] += vals[k]
+		}
+	case foldMin:
+		for k := k0; k < k1; k++ {
+			i := dsts[k] - acc.base
+			acc.vals[i] = math.Min(acc.vals[i], vals[k])
+		}
+	case foldMax:
+		for k := k0; k < k1; k++ {
+			i := dsts[k] - acc.base
+			acc.vals[i] = math.Max(acc.vals[i], vals[k])
+		}
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package engine_test
+
+import (
+	"testing"
+
+	"nxgraph/internal/algorithms"
+	"nxgraph/internal/engine"
+	"nxgraph/internal/gen"
+	"nxgraph/internal/testutil"
+)
+
+// BenchmarkSoakPageRankColdCache is the larger-than-RAM profile: the
+// block cache is budgeted far below the store's edge bytes, so every
+// iteration re-reads evicted sub-shards from disk. The headline metric
+// is a sustained nonzero diskReadB/op — the workload the warm-cache
+// benchmark deliberately excludes. Skipped under -short (it moves
+// hundreds of MB through the page cache).
+func BenchmarkSoakPageRankColdCache(b *testing.B) {
+	if testing.Short() {
+		b.Skip("soak benchmark skipped in -short mode")
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(15, 8, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, _ := testutil.BuildStore(b, g, testutil.StoreOptions{P: 8})
+	e, err := engine.New(st, engine.Config{Threads: 2, CacheBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := algorithms.PageRank(e, 0.85, 1); err != nil {
+		b.Fatal(err) // populate whatever fits; the rest stays cold
+	}
+	before := st.Disk().Stats().Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.PageRank(e, 0.85, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delta := st.Disk().Stats().Snapshot().Sub(before)
+	b.ReportMetric(float64(delta.BytesRead)/float64(b.N), "diskReadB/op")
+	if delta.BytesRead == 0 {
+		b.Fatal("soak run read no disk bytes: cache budget did not overflow")
+	}
+}

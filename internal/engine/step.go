@@ -76,12 +76,25 @@ func (r *Run) step() (bool, error) {
 		edges0 = r.edges
 	}
 
-	// InitializeIteration: zero the resident accumulators.
-	zero := r.p.Zero()
-	bounds := chunkRanges(int(r.resEnd), 1<<16)
-	parallelFor(r.threads, len(bounds)-1, func(c int) {
-		fill(r.next[bounds[c]:bounds[c+1]], zero)
-	})
+	// InitializeIteration: the resident accumulators must hold Zero.
+	// After a completed step this is already true — the apply phase
+	// re-zeroes the outgoing attribute array while its cache lines are
+	// hot (see applyResident) — so the sweep below only runs on the first
+	// step and after an aborted one.
+	if !r.nextZeroed {
+		zero := r.p.Zero()
+		bounds := chunkRanges(int(r.resEnd), 1<<16)
+		parallelFor(r.threads, len(bounds)-1, func(c int) {
+			fill(r.next[bounds[c]:bounds[c+1]], zero)
+		})
+	}
+	r.nextZeroed = false
+
+	// RankSum division hoist: refresh the per-iteration scaled view of
+	// the resident attributes before any gathering reads it.
+	if r.useScaled {
+		r.refreshScaled(r.scaled, r.curr[:r.resEnd], 0, r.degOf(dirs[0]))
+	}
 
 	// Global aggregate over current attributes (resident part now,
 	// on-disk intervals as the row phase streams them through memory).
@@ -89,8 +102,23 @@ func (r *Run) step() (bool, error) {
 	if r.agg != nil {
 		aggVal = r.agg.AggZero()
 		deg := r.primaryDeg()
-		for v := uint32(0); v < r.resEnd; v++ {
-			aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, r.curr[v], deg[v]))
+		switch {
+		case r.laggr != nil && r.resEnd == m.NumVertices:
+			// Every attribute is resident (SPU): one lane-aggregate call,
+			// bit-identical to the serial fold by LaneAggregator's
+			// contract and free to exploit program structure (PageRank's
+			// skips every non-dangling vertex).
+			aggVal = r.laggr.AggLane(r.curr, 1, 0, deg)
+		case r.laggr != nil:
+			// A LaneAggregator promises serial-fold bits and fused runs
+			// rely on them, so partial-array strategies keep the exact
+			// serial order: resident vertices now, streamed intervals as
+			// the row phase flows them through memory.
+			for v := uint32(0); v < r.resEnd; v++ {
+				aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, r.curr[v], deg[v]))
+			}
+		default:
+			aggVal = r.aggRange(aggVal, r.curr[:r.resEnd], 0, deg)
 		}
 	}
 
@@ -109,7 +137,7 @@ func (r *Run) step() (bool, error) {
 			if !srcActive {
 				continue
 			}
-			if err := r.processRow(i, view{r.curr, 0}, dirs, rowPipe.take(i)); err != nil {
+			if err := r.processRow(i, r.srcView(), dirs, rowPipe.take(i)); err != nil {
 				return false, err
 			}
 			continue
@@ -129,14 +157,24 @@ func (r *Run) step() (bool, error) {
 		}
 		if r.agg != nil {
 			deg := r.primaryDeg()
-			for v := lo; v < hi; v++ {
-				aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, buf[v-lo], deg[v]))
+			if r.laggr != nil { // serial-fold bits, see the resident case
+				for v := lo; v < hi; v++ {
+					aggVal = r.agg.AggCombine(aggVal, r.agg.AggVertex(v, buf[v-lo], deg[v]))
+				}
+			} else {
+				aggVal = r.aggRange(aggVal, buf, lo, deg)
 			}
 		}
 		if !srcActive {
 			continue
 		}
-		if err := r.processRow(i, view{buf, lo}, dirs, rowPipe.take(i)); err != nil {
+		srcV := view{buf, lo}
+		if r.useScaled {
+			sbuf := r.scaledBuf[:hi-lo]
+			r.refreshScaled(sbuf, buf, lo, r.degOf(dirs[0]))
+			srcV = view{sbuf, lo}
+		}
+		if err := r.processRow(i, srcV, dirs, rowPipe.take(i)); err != nil {
 			return false, err
 		}
 	}
@@ -172,6 +210,7 @@ func (r *Run) step() (bool, error) {
 	}
 	r.tr.End(applySpan)
 	r.curr, r.next = r.next, r.curr
+	r.nextZeroed = true // apply tasks re-zeroed what is now r.next
 	copy(r.active, activeNext)
 	r.iter++
 	r.notifyProgress(activeNext)
@@ -262,9 +301,12 @@ func (r *Run) processRow(i int, src view, dirs []int, blocks *fetchBatch) error 
 				lock := &r.locks[j]
 				acc := view{r.next, 0}
 				p, dd := r.p, deg
+				f := scalarFoldFor(r.hint, false, flat.ws != nil)
 				free = append(free, func() { // interval lock serializes
 					lock.Lock()
-					gatherSrcSorted(p, dd, r.mask, flat, src, acc)
+					if !gatherSrcSortedSpec(f, dd, r.mask, flat, src, acc) {
+						gatherSrcSorted(p, dd, r.mask, flat, src, acc)
+					}
 					lock.Unlock()
 				})
 				continue
@@ -324,24 +366,38 @@ func (r *Run) processRow(i int, src view, dirs []int, blocks *fetchBatch) error 
 // gatherTasks builds the fine-grained (callback) or interval-locked (lock)
 // tasks that fold sub-shard ss into a dense accumulator. del is the
 // overlay tombstone predicate for base sub-shards (nil for overlay cells
-// and cells without pending removals).
+// and cells without pending removals). Cells whose Gather/Sum match the
+// run's kernel hint go through the devirtualized fold loops; chunk
+// boundaries balance edges, not destinations, so a hub destination does
+// not serialize its whole chunk's worth of sparse neighbours behind it.
 func (r *Run) gatherTasks(ss *storage.SubShard, deg []uint32, del func(src, dst uint32) bool, src, acc view, j int) []func() {
 	p := r.p
+	f := scalarFoldFor(r.hint, r.useScaled, ss.Weights != nil)
 	if r.e.cfg.Sync == Lock {
 		lock := &r.locks[j]
 		return []func(){func() {
 			lock.Lock()
-			gatherCSR(p, deg, r.mask, del, ss, src, acc, 0, ss.NumDsts())
+			if f != foldNone {
+				gatherSpec(f, deg, r.mask, del, ss, src, acc, nil, 0, ss.NumDsts())
+			} else {
+				gatherCSR(p, deg, r.mask, del, ss, src, acc, 0, ss.NumDsts())
+			}
 			lock.Unlock()
 		}}
 	}
-	bounds := chunkRanges(ss.NumDsts(), r.chunk)
+	bounds := edgeChunkRanges(ss.Offsets, r.chunkCost)
 	tasks := make([]func(), 0, len(bounds)-1)
 	for c := 0; c < len(bounds)-1; c++ {
 		k0, k1 := bounds[c], bounds[c+1]
-		tasks = append(tasks, func() {
-			gatherCSR(p, deg, r.mask, del, ss, src, acc, k0, k1)
-		})
+		if f != foldNone {
+			tasks = append(tasks, func() {
+				gatherSpec(f, deg, r.mask, del, ss, src, acc, nil, k0, k1)
+			})
+		} else {
+			tasks = append(tasks, func() {
+				gatherCSR(p, deg, r.mask, del, ss, src, acc, k0, k1)
+			})
+		}
 	}
 	return tasks
 }
@@ -357,20 +413,28 @@ func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, del func
 			r.setErr(err)
 		}
 	}
+	f := scalarFoldFor(r.hint, r.useScaled, ss.Weights != nil)
+	gather := func(k0, k1 int) {
+		if f != foldNone {
+			gatherSpec(f, deg, r.mask, del, ss, src, view{}, vals, k0, k1)
+		} else {
+			gatherToHub(p, deg, r.mask, del, ss, src, vals, k0, k1)
+		}
+	}
 	if r.e.cfg.Sync == Lock {
 		return []func(){func() {
-			gatherToHub(p, deg, r.mask, del, ss, src, vals, 0, ss.NumDsts())
+			gather(0, ss.NumDsts())
 			write()
 		}}
 	}
-	bounds := chunkRanges(ss.NumDsts(), r.chunk)
+	bounds := edgeChunkRanges(ss.Offsets, r.chunkCost)
 	var pending atomic.Int32
 	pending.Store(int32(len(bounds) - 1))
 	tasks := make([]func(), 0, len(bounds)-1)
 	for c := 0; c < len(bounds)-1; c++ {
 		k0, k1 := bounds[c], bounds[c+1]
 		tasks = append(tasks, func() {
-			gatherToHub(p, deg, r.mask, del, ss, src, vals, k0, k1)
+			gather(k0, k1)
 			if pending.Add(-1) == 0 {
 				write()
 			}
@@ -384,17 +448,25 @@ func (r *Run) hubTasks(d, i, j int, ss *storage.SubShard, deg []uint32, del func
 func (r *Run) ovHubTasks(d, i, j int, cell *storage.SubShard, deg []uint32, src view) []func() {
 	p := r.p
 	vals := r.ovHubVals(d, i, j, cell)
+	f := scalarFoldFor(r.hint, r.useScaled, cell.Weights != nil)
+	gather := func(k0, k1 int) {
+		if f != foldNone {
+			gatherSpec(f, deg, r.mask, nil, cell, src, view{}, vals, k0, k1)
+		} else {
+			gatherToHub(p, deg, r.mask, nil, cell, src, vals, k0, k1)
+		}
+	}
 	if r.e.cfg.Sync == Lock {
 		return []func(){func() {
-			gatherToHub(p, deg, r.mask, nil, cell, src, vals, 0, cell.NumDsts())
+			gather(0, cell.NumDsts())
 		}}
 	}
-	bounds := chunkRanges(cell.NumDsts(), r.chunk)
+	bounds := edgeChunkRanges(cell.Offsets, r.chunkCost)
 	tasks := make([]func(), 0, len(bounds)-1)
 	for c := 0; c < len(bounds)-1; c++ {
 		k0, k1 := bounds[c], bounds[c+1]
 		tasks = append(tasks, func() {
-			gatherToHub(p, deg, r.mask, nil, cell, src, vals, k0, k1)
+			gather(k0, k1)
 		})
 	}
 	return tasks
@@ -455,12 +527,12 @@ func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch)
 						return false, err
 					}
 					r.edges += int64(ss.NumEdges())
-					tasks := r.gatherTasks(ss, deg, r.cellDel(d, i, j), view{r.curr, 0}, accV, j)
+					tasks := r.gatherTasks(ss, deg, r.cellDel(d, i, j), r.srcView(), accV, j)
 					parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
 				}
 				if ovc := r.ovCell(d, i, j); ovc != nil {
 					r.edges += int64(ovc.NumEdges())
-					tasks := r.gatherTasks(ovc, deg, nil, view{r.curr, 0}, accV, j)
+					tasks := r.gatherTasks(ovc, deg, nil, r.srcView(), accV, j)
 					parallelFor(r.threads, len(tasks), func(t int) { tasks[t]() })
 				}
 			}
@@ -473,17 +545,16 @@ func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch)
 					if err != nil {
 						return false, err
 					}
-					p := r.p
 					bounds := chunkRanges(len(dsts), r.chunk)
 					parallelFor(r.threads, len(bounds)-1, func(c int) {
-						foldHub(p, dsts, vals, accV, bounds[c], bounds[c+1])
+						r.foldHubRange(dsts, vals, accV, bounds[c], bounds[c+1])
 					})
 				}
 				if ovc := r.ovCell(d, i, j); ovc != nil {
 					// Fold the in-memory overlay partials written by this
 					// iteration's row phase (hubRowValid guarantees the
 					// row ran, so the array is populated).
-					foldHub(r.p, ovc.Dsts, r.ovHub[d][i*P+j], accV, 0, ovc.NumDsts())
+					r.foldHubRange(ovc.Dsts, r.ovHub[d][i*P+j], accV, 0, ovc.NumDsts())
 				}
 			}
 			if err := r.takeErr(); err != nil {
@@ -498,10 +569,9 @@ func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch)
 	oldV := view{old, lo}
 	bounds := chunkRanges(int(hi-lo), r.chunk)
 	changed := make([]bool, len(bounds)-1)
-	p := r.p
 	parallelFor(r.threads, len(bounds)-1, func(c int) {
 		v0, v1 := lo+uint32(bounds[c]), lo+uint32(bounds[c+1])
-		changed[c] = applyRange(p, r.mask, oldV, accV, accV, v0, v1)
+		changed[c] = r.applyChunk(oldV, accV, v0, v1)
 	})
 	anyChanged := false
 	for _, c := range changed {
@@ -517,7 +587,10 @@ func (r *Run) processColumn(j int, dirs []int, touched bool, blocks *fetchBatch)
 }
 
 // applyResident finalizes resident intervals: Apply where contributions
-// (or a global aggregate) demand it, plain copy elsewhere.
+// (or a global aggregate) demand it, plain copy elsewhere. Every task —
+// apply or copy — re-zeroes its slice of what is about to become the
+// next iteration's accumulator (r.curr, pre-swap) while the cache lines
+// are still hot, so step() never needs a separate zeroing sweep.
 func (r *Run) applyResident(activeNext []bool) error {
 	m := r.e.store.Meta()
 	P, Q := m.P, r.q
@@ -525,6 +598,7 @@ func (r *Run) applyResident(activeNext []bool) error {
 	type task struct {
 		j      int
 		v0, v1 uint32
+		copy   bool
 	}
 	var tasks []task
 	for j := 0; j < Q; j++ {
@@ -546,20 +620,22 @@ func (r *Run) applyResident(activeNext []bool) error {
 				}
 			}
 		}
-		if !touched {
-			copy(r.next[lo:hi], r.curr[lo:hi])
-			continue
-		}
 		bounds := chunkRanges(int(hi-lo), r.chunk)
 		for c := 0; c < len(bounds)-1; c++ {
-			tasks = append(tasks, task{j, lo + uint32(bounds[c]), lo + uint32(bounds[c+1])})
+			tasks = append(tasks, task{j, lo + uint32(bounds[c]), lo + uint32(bounds[c+1]), !touched})
 		}
 	}
 	changed := make([]bool, len(tasks))
-	p := r.p
+	zero := r.p.Zero()
 	currV, nextV := view{r.curr, 0}, view{r.next, 0}
 	parallelFor(r.threads, len(tasks), func(t int) {
-		changed[t] = applyRange(p, r.mask, currV, nextV, nextV, tasks[t].v0, tasks[t].v1)
+		tk := tasks[t]
+		if tk.copy {
+			copy(r.next[tk.v0:tk.v1], r.curr[tk.v0:tk.v1])
+		} else {
+			changed[t] = r.applyChunk(currV, nextV, tk.v0, tk.v1)
+		}
+		fill(r.curr[tk.v0:tk.v1], zero)
 	})
 	for t, ch := range changed {
 		if ch {
@@ -567,4 +643,74 @@ func (r *Run) applyResident(activeNext []bool) error {
 		}
 	}
 	return nil
+}
+
+// srcView is the resident source-attribute window the gather kernels
+// read: the per-iteration scaled array under the RankSum division hoist,
+// the raw attributes otherwise.
+func (r *Run) srcView() view {
+	if r.useScaled {
+		return view{r.scaled, 0}
+	}
+	return view{r.curr, 0}
+}
+
+// refreshScaled recomputes dst[i] = vals[i] / float64(deg[lo+i]) in
+// parallel chunks — the RankSum division hoist, performed with exactly
+// the operands Gather(vals[i], deg[lo+i], w) would use so the hoisted
+// fold stays bit-identical. Zero-degree vertices yield Inf entries that
+// are never read: a gathered edge from source s implies s's
+// overlay-adjusted degree is at least 1 (tombstoned edges are filtered
+// before the attribute read).
+func (r *Run) refreshScaled(dst, vals []float64, lo uint32, deg []uint32) {
+	bounds := chunkRanges(len(vals), 1<<15)
+	parallelFor(r.threads, len(bounds)-1, func(c int) {
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			dst[i] = vals[i] / float64(deg[lo+uint32(i)])
+		}
+	})
+}
+
+// aggRange folds the global aggregate over the vertex range
+// [lo, lo+len(vals)) whose attributes sit in vals, computing per-chunk
+// partials in parallel and combining them with AggCombine in ascending
+// chunk order. The fixed chunk size makes the result deterministic for
+// any thread count, though the chunked combine is not the serial fold's
+// float association — programs that need serial bits declare a
+// LaneAggregator and never reach this path.
+func (r *Run) aggRange(val float64, vals []float64, lo uint32, deg []uint32) float64 {
+	bounds := chunkRanges(len(vals), 1<<15)
+	parts := make([]float64, len(bounds)-1)
+	parallelFor(r.threads, len(parts), func(c int) {
+		pv := r.agg.AggZero()
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			v := lo + uint32(i)
+			pv = r.agg.AggCombine(pv, r.agg.AggVertex(v, vals[i], deg[v]))
+		}
+		parts[c] = pv
+	})
+	for _, pv := range parts {
+		val = r.agg.AggCombine(val, pv)
+	}
+	return val
+}
+
+// foldHubRange folds hub partials [k0, k1) into the accumulator through
+// the devirtualized Sum loop when the kernel hint pins Sum's form, the
+// generic per-entry path otherwise.
+func (r *Run) foldHubRange(dsts []uint32, vals []float64, acc view, k0, k1 int) {
+	if !foldHubSpec(sumFoldFor(r.hint), dsts, vals, acc, k0, k1) {
+		foldHub(r.p, dsts, vals, acc, k0, k1)
+	}
+}
+
+// applyChunk applies vertices [v0, v1), reading old attributes from old
+// and folding into acc in place. With no mask installed it uses the
+// program's LaneApplier (stride 1; both views share a base, so one
+// offset indexes both arrays) to skip per-vertex interface dispatch.
+func (r *Run) applyChunk(old, acc view, v0, v1 uint32) bool {
+	if r.la != nil && r.mask == nil {
+		return r.la.ApplyLane(old.vals, acc.vals, 1, -int(old.base), v0, v1)
+	}
+	return applyRange(r.p, r.mask, old, acc, acc, v0, v1)
 }
