@@ -8,6 +8,7 @@
 //
 //	nxserve -listen :8080 -graph social=/data/social -graph web=/data/web
 //	nxserve -listen :8080 -workers 4 -cache 512MiB -cache-mb 1024 -delta-threshold 16384
+//	nxserve -listen :8080 -fsync always -wal-segment 16MiB
 //	nxserve -listen :8080 -log-format json -log-level debug
 //
 // Graphs can also be opened — and mutated — at runtime:
@@ -47,6 +48,7 @@ import (
 	nxgraph "nxgraph"
 	"nxgraph/internal/metrics"
 	"nxgraph/internal/server"
+	"nxgraph/internal/wal"
 )
 
 // graphFlags collects repeated -graph name=dir arguments.
@@ -120,6 +122,11 @@ func main() {
 		mem       = flag.String("mem", "0", "per-graph engine memory budget (0 = unlimited)")
 		threads   = flag.Int("threads", 0, "engine worker threads per run (0 = GOMAXPROCS)")
 		deltaThr  = flag.Int("delta-threshold", 0, "pending deltas that trigger auto-compaction (0 = default 8192, negative disables)")
+		fsync     = flag.String("fsync", "batch", "WAL durability policy: off (no fsync), batch (one fsync per group commit) or always (one fsync per batch)")
+		walDelay  = flag.Duration("wal-max-delay", 0, "max time the WAL committer waits to widen a group commit (0 = ack-coalescing only)")
+		walBatch  = flag.Int("wal-max-batch", 0, "max batches fsynced per group commit (0 = default 256)")
+		walSeg    = flag.String("wal-segment", "64MiB", "WAL segment roll size")
+		noWAL     = flag.Bool("no-wal", false, "disable the write-ahead log entirely: ingest acks mean visibility only, crashes lose uncompacted deltas")
 		graceSecs = flag.Int("grace", 10, "seconds to drain in-flight HTTP requests on shutdown")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -148,6 +155,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxserve:", err)
+		os.Exit(2)
+	}
+	segBytes, err := metrics.ParseBytes(*walSeg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nxserve:", err)
+		os.Exit(2)
+	}
+
 	blockBytes := int64(-1) // <= 0 on the flag disables the block cache
 	if *cacheMB > 0 {
 		blockBytes = int64(*cacheMB) << 20
@@ -159,6 +177,11 @@ func main() {
 		CacheBytes:      cacheBytes,
 		BlockCacheBytes: blockBytes,
 		DeltaThreshold:  *deltaThr,
+		WALSync:         syncPolicy,
+		WALMaxDelay:     *walDelay,
+		WALMaxBatch:     *walBatch,
+		WALSegmentBytes: segBytes,
+		DisableWAL:      *noWAL,
 		GraphOptions:    nxgraph.Options{Threads: *threads, MemoryBudget: budget},
 		Logger:          logger,
 		Version:         buildVersion(),
@@ -179,6 +202,7 @@ func main() {
 			"workers", *workers,
 			"result_cache", *cache,
 			"block_cache_mb", *cacheMB,
+			"fsync", syncPolicy.String(),
 			"version", buildVersion(),
 		)
 		serveErr <- httpSrv.ListenAndServe()

@@ -56,6 +56,11 @@ type DeltaLog struct {
 	// space cannot address, maintained incrementally so Deferred() (on
 	// the ingest ack path) never rescans the log.
 	deferred int
+	// lastSeq is the WAL sequence of the newest batch applied via
+	// AppendBatch. WAL replay after a crash (or after a partial segment
+	// GC) re-presents batches the log already holds; the <= lastSeq
+	// check makes re-application a no-op, so replay is idempotent.
+	lastSeq uint64
 
 	snap      *overlaySnapshot // compiled cache for the current ops
 	snapLen   int              // ops length the cache was compiled at
@@ -86,16 +91,44 @@ func (l *DeltaLog) Base() *storage.Store { return l.base }
 func (l *DeltaLog) Append(ops ...Op) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(ops) > 0 {
-		l.ops = append(l.ops, ops...)
-		for _, op := range ops {
-			if l.isDeferred(op) {
-				l.deferred++
-			}
-		}
-		l.snap, l.snapEmpty = nil, false
-	}
+	l.appendLocked(ops)
 	return len(l.ops)
+}
+
+// AppendBatch logs one WAL-sequenced batch. A batch whose sequence is
+// not beyond lastSeq is already in the log (a replay duplicate) and is
+// skipped — applied reports whether the ops landed. seq 0 is reserved
+// for unsequenced appends (use Append).
+func (l *DeltaLog) AppendBatch(seq uint64, ops []Op) (pending int, applied bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq <= l.lastSeq {
+		return len(l.ops), false
+	}
+	l.appendLocked(ops)
+	l.lastSeq = seq
+	return len(l.ops), true
+}
+
+// LastSeq returns the WAL sequence of the newest applied batch.
+func (l *DeltaLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// appendLocked is the shared append body. Caller holds l.mu.
+func (l *DeltaLog) appendLocked(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	l.ops = append(l.ops, ops...)
+	for _, op := range ops {
+		if l.isDeferred(op) {
+			l.deferred++
+		}
+	}
+	l.snap, l.snapEmpty = nil, false
 }
 
 // isDeferred reports whether op is an insertion naming a vertex outside
@@ -386,9 +419,19 @@ func (s *overlaySnapshot) DeltaEdges() int64 { return s.deltaEdges }
 // Rebuild folds ops[:mark] into a new store, ops logged afterwards stay
 // pending and ride along into Advance.
 func (l *DeltaLog) Checkpoint() int {
+	mark, _ := l.CheckpointSeq()
+	return mark
+}
+
+// CheckpointSeq is Checkpoint plus the WAL sequence the mark
+// corresponds to, read under one lock so the pair is consistent: every
+// sequenced batch at or below seq is inside ops[:mark]. Compaction
+// stamps seq into the rebuilt store's MANIFEST as the replay start
+// point.
+func (l *DeltaLog) CheckpointSeq() (mark int, seq uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.ops)
+	return len(l.ops), l.lastSeq
 }
 
 // Rebuild merges the base store with the first mark logged ops and
@@ -476,5 +519,8 @@ func (l *DeltaLog) Advance(mark int, newBase *storage.Store) (*DeltaLog, error) 
 	// Go through Append so the carried ops are re-classified against the
 	// new store's id space (deferred vertices usually materialized).
 	nl.Append(l.ops[mark:]...)
+	// The carried ops keep their WAL positions: the new log continues
+	// deduplicating replay at the same high-water mark.
+	nl.lastSeq = l.lastSeq
 	return nl, nil
 }

@@ -1,0 +1,154 @@
+package dynamic_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nxgraph/internal/dynamic"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/storage"
+	"nxgraph/internal/testutil"
+)
+
+// seqBatch is one WAL-sequenced ingest batch for the idempotence table.
+type seqBatch struct {
+	seq uint64
+	ops []dynamic.Op
+}
+
+// replayBase builds the small fixed store the idempotence table runs
+// against: a 6-vertex ring with two chords, every vertex addressable by
+// its raw id.
+func replayBase(t *testing.T) *storage.Store {
+	t.Helper()
+	g := &graph.EdgeList{NumVertices: 6}
+	for v := uint32(0); v < 6; v++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: v, Dst: (v + 1) % 6, Weight: 1})
+	}
+	g.Edges = append(g.Edges,
+		graph.Edge{Src: 0, Dst: 3, Weight: 1},
+		graph.Edge{Src: 2, Dst: 5, Weight: 1},
+	)
+	st, _ := testutil.BuildStore(t, g, testutil.StoreOptions{P: 2, Transpose: true})
+	return st
+}
+
+// TestAppendBatchReplayIdempotent is the recovery invariant the WAL
+// relies on: re-presenting an already-applied sequenced batch (replay
+// after a crash, or after a partial segment GC left folded batches on
+// disk) must change nothing — same pending ops, same deferred count,
+// same compiled Overlay.
+func TestAppendBatchReplayIdempotent(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []seqBatch
+	}{
+		{"adds-only", []seqBatch{
+			{1, []dynamic.Op{{Src: 1, Dst: 4, Weight: 2}, {Src: 3, Dst: 0, Weight: 1}}},
+			{2, []dynamic.Op{{Src: 5, Dst: 2, Weight: 1}}},
+		}},
+		{"remove-base-edge", []seqBatch{
+			{1, []dynamic.Op{{Remove: true, Src: 0, Dst: 1}}},
+			{2, []dynamic.Op{{Remove: true, Src: 2, Dst: 5}, {Src: 2, Dst: 0, Weight: 1}}},
+		}},
+		{"remove-then-re-add", []seqBatch{
+			{1, []dynamic.Op{{Src: 4, Dst: 1, Weight: 1}}},
+			{2, []dynamic.Op{{Remove: true, Src: 4, Dst: 1}}},
+			{3, []dynamic.Op{{Src: 4, Dst: 1, Weight: 3}}},
+		}},
+		{"deferred-new-vertices", []seqBatch{
+			{1, []dynamic.Op{{Src: 100, Dst: 0, Weight: 1}, {Src: 0, Dst: 100, Weight: 1}}},
+			{2, []dynamic.Op{{Src: 100, Dst: 101, Weight: 1}}},
+		}},
+		{"mixed", []seqBatch{
+			{1, []dynamic.Op{{Src: 1, Dst: 3, Weight: 1}, {Remove: true, Src: 1, Dst: 2}}},
+			{2, []dynamic.Op{{Src: 200, Dst: 2, Weight: 1}}},
+			{3, []dynamic.Op{{Remove: true, Src: 1, Dst: 3}, {Src: 1, Dst: 2, Weight: 5}}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := replayBase(t)
+			once, err := dynamic.NewDeltaLog(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			twice, err := dynamic.NewDeltaLog(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range tc.batches {
+				if _, applied := once.AppendBatch(b.seq, b.ops); !applied {
+					t.Fatalf("seq %d: first application skipped", b.seq)
+				}
+				// The duplicated log sees every batch twice in a row —
+				// the second application must be the no-op.
+				if _, applied := twice.AppendBatch(b.seq, b.ops); !applied {
+					t.Fatalf("seq %d: first application skipped on dup log", b.seq)
+				}
+				if _, applied := twice.AppendBatch(b.seq, b.ops); applied {
+					t.Fatalf("seq %d: duplicate application was not skipped", b.seq)
+				}
+			}
+			// ...and then the whole prefix replays once more from the
+			// start (the crash-during-GC shape: old segments resurface
+			// every batch).
+			for _, b := range tc.batches {
+				if _, applied := twice.AppendBatch(b.seq, b.ops); applied {
+					t.Fatalf("seq %d: full re-replay applied a stale batch", b.seq)
+				}
+			}
+			if once.Pending() != twice.Pending() {
+				t.Fatalf("pending diverged: %d vs %d", once.Pending(), twice.Pending())
+			}
+			if once.Deferred() != twice.Deferred() {
+				t.Fatalf("deferred diverged: %d vs %d", once.Deferred(), twice.Deferred())
+			}
+			if once.LastSeq() != twice.LastSeq() {
+				t.Fatalf("lastSeq diverged: %d vs %d", once.LastSeq(), twice.LastSeq())
+			}
+			ovA, err := once.Overlay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ovB, err := twice.Overlay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The compiled snapshots carry everything a run observes
+			// (cells, tombstones, degrees); structural equality means
+			// identical query results.
+			if !reflect.DeepEqual(ovA, ovB) {
+				t.Fatalf("overlays diverged after duplicate application:\n once: %#v\ntwice: %#v", ovA, ovB)
+			}
+		})
+	}
+}
+
+// TestAppendBatchOutOfOrderDuplicate pins the dedup rule precisely: it
+// is a high-water mark, not a set — a batch at or below lastSeq is
+// dropped even if that exact sequence was never applied (it can only be
+// missing because it rode in via Advance or an earlier store
+// generation).
+func TestAppendBatchOutOfOrderDuplicate(t *testing.T) {
+	st := replayBase(t)
+	l, err := dynamic.NewDeltaLog(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, applied := l.AppendBatch(5, []dynamic.Op{{Src: 0, Dst: 2, Weight: 1}}); !applied {
+		t.Fatal("seq 5 should apply")
+	}
+	if _, applied := l.AppendBatch(3, []dynamic.Op{{Src: 1, Dst: 5, Weight: 1}}); applied {
+		t.Fatal("seq 3 <= lastSeq 5 must be skipped")
+	}
+	if _, applied := l.AppendBatch(5, []dynamic.Op{{Src: 0, Dst: 2, Weight: 1}}); applied {
+		t.Fatal("seq 5 == lastSeq must be skipped")
+	}
+	if _, applied := l.AppendBatch(6, nil); !applied {
+		t.Fatal("seq 6 should apply (empty batch still advances the mark)")
+	}
+	if got := l.LastSeq(); got != 6 {
+		t.Fatalf("LastSeq = %d, want 6", got)
+	}
+}

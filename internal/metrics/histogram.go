@@ -101,6 +101,11 @@ var DurationBuckets = []float64{0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
 // (batch sizes): decades from 1 to 1e6.
 var SizeBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
 
+// FsyncBuckets is the bucket layout for fsync latency, in seconds.
+// Fsyncs on healthy local disks land well under a millisecond, so the
+// layout starts two decades below DurationBuckets.
+var FsyncBuckets = []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1}
+
 // ServerHistograms bundles the serving layer's latency and size
 // distributions for the /metrics endpoint.
 type ServerHistograms struct {
@@ -117,6 +122,9 @@ type ServerHistograms struct {
 	HTTPRequest *Histogram
 	// BatchWidth is the lane count distribution of fused engine runs.
 	BatchWidth *Histogram
+	// WALFsync is write-ahead-log fsync latency (one observation per
+	// group-commit flush, not per appended batch).
+	WALFsync *Histogram
 }
 
 // NewServerHistograms creates the standard nxserve histogram set.
@@ -128,12 +136,13 @@ func NewServerHistograms() *ServerHistograms {
 		IngestBatch:       NewHistogram("nxserve_ingest_batch_edges", "Edge operations per accepted ingest batch.", SizeBuckets),
 		HTTPRequest:       NewHistogram("nxserve_http_request_seconds", "HTTP request handling latency.", DurationBuckets),
 		BatchWidth:        NewHistogram("nxserve_fused_batch_width", "Lane count of fused engine runs.", SizeBuckets),
+		WALFsync:          NewHistogram("nxserve_wal_fsync_seconds", "Write-ahead-log fsync latency per group-commit flush.", FsyncBuckets),
 	}
 }
 
 // WritePrometheus renders every histogram in the set.
 func (s *ServerHistograms) WritePrometheus(w io.Writer) error {
-	for _, h := range []*Histogram{s.JobDuration, s.IterationDuration, s.BlockLoad, s.IngestBatch, s.HTTPRequest, s.BatchWidth} {
+	for _, h := range []*Histogram{s.JobDuration, s.IterationDuration, s.BlockLoad, s.IngestBatch, s.HTTPRequest, s.BatchWidth, s.WALFsync} {
 		if err := h.WritePrometheus(w); err != nil {
 			return err
 		}

@@ -156,3 +156,27 @@ func WriteBlockCachePrometheus(w io.Writer, s blockcache.Stats) error {
 	}
 	return nil
 }
+
+var walMetrics = []struct {
+	name string
+	help string
+}{
+	{"nxserve_wal_appends_total", "Batches appended to write-ahead logs."},
+	{"nxserve_wal_fsyncs_total", "Write-ahead-log fsyncs (group commit coalesces batches per fsync)."},
+	{"nxserve_wal_replayed_batches_total", "Batches replayed from write-ahead logs on graph open."},
+	{"nxserve_wal_torn_tails_total", "Torn write-ahead-log tails truncated on graph open."},
+}
+
+// WriteWALPrometheus renders a write-ahead-log counter snapshot in
+// Prometheus text exposition format. Plain-int arguments keep metrics
+// free of a wal dependency.
+func WriteWALPrometheus(w io.Writer, appends, fsyncs, replayed, tornTails int64) error {
+	vals := []int64{appends, fsyncs, replayed, tornTails}
+	for i, m := range walMetrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			m.name, m.help, m.name, m.name, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

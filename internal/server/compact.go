@@ -10,6 +10,7 @@ import (
 	nxgraph "nxgraph"
 	"nxgraph/internal/blockcache"
 	"nxgraph/internal/preprocess"
+	"nxgraph/internal/wal"
 )
 
 // Store directory names under a graph's root dir. The served store
@@ -93,12 +94,19 @@ func (s *scheduler) executeCompact(j *Job) {
 //     and survive the swap (Advance rebases them onto the new store);
 //  2. rebuild — stream base + deltas into a fresh store directory. The
 //     base store is only read, so queries (base + overlay) keep being
-//     served concurrently; the graph's run slot is never claimed;
+//     served concurrently; the graph's run slot is never claimed. A
+//     MANIFEST (store generation + the WAL sequence the checkpoint
+//     covers) is written into the rebuilt directory *before* the swap,
+//     so the rename that publishes the store atomically publishes its
+//     replay start point with it;
 //  3. swap — under runMu (no engine run in flight): close the old
 //     graph, rotate directories (dsss → dsss.prev, dsss.compact →
 //     dsss), reopen, rebase the delta log, and purge the graph's
 //     result-cache entries before releasing the lock, so no stale
-//     result can be served or inserted after the swap.
+//     result can be served or inserted after the swap. WAL segments
+//     the new manifest makes redundant are garbage-collected last —
+//     a crash anywhere in between merely replays batches the
+//     sequence-number dedup skips.
 //
 // On any swap failure the directories are rolled back and the old store
 // reopened — the graph keeps serving base + overlay as if the
@@ -107,8 +115,9 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 	start := time.Now()
 	delta := e.deltaLog()
 	var mark int
+	var markSeq uint64
 	if delta != nil {
-		mark = delta.Checkpoint()
+		mark, markSeq = delta.CheckpointSeq()
 	}
 	if mark == 0 {
 		return &Result{
@@ -139,6 +148,17 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 	// opens attribute/hub files lazily by path, so serving from a store
 	// whose directory was renamed underneath it would misroute them.
 	res.Store.Close()
+	// Stamp the rebuilt store with its WAL position while it is still
+	// private: once the swap renames publish it, replay-on-open must
+	// know that batches up to markSeq are already folded into its
+	// edges.
+	if err := wal.WriteManifest(tmpAbs, wal.Manifest{
+		Generation:     e.storeGen + 1,
+		LastAppliedSeq: markSeq,
+	}); err != nil {
+		os.RemoveAll(tmpAbs)
+		return nil, fmt.Errorf("server: graph %q: write manifest: %w", e.name, err)
+	}
 	if err := ctx.Err(); err != nil {
 		os.RemoveAll(tmpAbs)
 		return nil, err
@@ -208,6 +228,15 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 		e.cache.InvalidateGeneration(oldGen)
 	}
 	os.RemoveAll(prev)
+	e.storeGen++
+	// The published manifest covers every batch up to markSeq, so WAL
+	// segments holding only those batches are dead weight: drop them.
+	// Failure is cosmetic — replay dedups whatever survives.
+	if e.wal != nil {
+		if err := e.wal.TruncateThrough(markSeq); err != nil {
+			s.log.Warn("wal gc failed", "graph", e.name, "error", err.Error())
+		}
+	}
 	s.stats.DeltaPending.Add(-int64(mark))
 
 	pendingAfter := 0

@@ -3,9 +3,11 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 
 	"nxgraph/internal/dynamic"
+	"nxgraph/internal/wal"
 )
 
 // edgeSpec is one edge in an ingestion batch, in the graph's original
@@ -21,13 +23,14 @@ type edgeSpec struct {
 // handleIngest is POST /v1/graphs/{name}/edges: append a batch of edge
 // insertions/removals to the graph's delta log. Removals apply before
 // insertions within one batch, so {"remove":[e],"add":[e]} re-adds the
-// edge. The 202 is a visibility guarantee, not a durability one: every
-// job submitted afterwards observes the deltas (engine runs snapshot
-// the log at execution start), but the log is in-memory — deltas not
-// yet folded in by a compaction are lost if the process exits.
-// Insertions referencing brand-new vertices are accepted but deferred
-// to the next compaction — the engine's dense id space cannot address
-// them.
+// edge. The 202 is a durability *and* visibility guarantee: the batch
+// has been appended to the graph's write-ahead log and fsynced per the
+// -fsync policy before the response is written (replay-on-open
+// restores it after a crash), and every job submitted afterwards
+// observes the deltas (engine runs snapshot the log at execution
+// start). Insertions referencing brand-new vertices are accepted but
+// deferred to the next compaction — the engine's dense id space cannot
+// address them.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.get(r.PathValue("name"))
 	if !ok {
@@ -55,16 +58,32 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ops = append(ops, dynamic.Op{Remove: true, Src: re.Src, Dst: re.Dst})
 	}
 	for _, ad := range req.Add {
+		// Reject malformed weights before anything is logged: NaN
+		// poisons every rank it touches, infinities overflow degree
+		// normalization, and negative weights have no meaning for the
+		// served algorithms. (0 is the documented "default to 1".)
+		w64 := float64(ad.Weight)
+		if math.IsNaN(w64) || math.IsInf(w64, 0) || ad.Weight < 0 {
+			writeErr(w, http.StatusBadRequest,
+				"edge %d->%d: weight %v must be a finite non-negative number", ad.Src, ad.Dst, ad.Weight)
+			return
+		}
 		wt := ad.Weight
 		if wt == 0 {
 			wt = 1
 		}
 		ops = append(ops, dynamic.Op{Src: ad.Src, Dst: ad.Dst, Weight: wt})
 	}
-	pending, deferred, err := e.appendDeltas(ops)
+	pending, deferred, err := e.appendDurable(ops)
 	switch {
-	case errors.Is(err, errGraphClosing):
-		writeErr(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, errGraphClosing), errors.Is(err, wal.ErrClosed):
+		writeErr(w, http.StatusConflict, "%v", errGraphClosing)
+		return
+	case errors.Is(err, wal.ErrFailed):
+		// The log is poisoned (disk full, I/O error): nothing further
+		// can be made durable until the operator restarts the process,
+		// which truncates the torn tail and resumes.
+		writeErr(w, http.StatusServiceUnavailable, "ingestion unavailable: %v", err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)

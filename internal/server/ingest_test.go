@@ -140,6 +140,41 @@ func TestIngestServedLive(t *testing.T) {
 	}
 }
 
+// TestIngestRejectsMalformedWeights: NaN, infinite, negative and
+// unrepresentable weights get a 400 before anything reaches the log.
+// Non-finite values cannot even be expressed as JSON numbers, so those
+// are sent as raw bodies and die in the decoder; the negative case
+// reaches the handler's own validation.
+func TestIngestRejectsMalformedWeights(t *testing.T) {
+	_, ts := newIngestServer(t, Config{Workers: 1})
+
+	for _, body := range []string{
+		`{"add":[{"src":0,"dst":1,"weight":NaN}]}`,
+		`{"add":[{"src":0,"dst":1,"weight":Infinity}]}`,
+		`{"add":[{"src":0,"dst":1,"weight":-Infinity}]}`,
+		`{"add":[{"src":0,"dst":1,"weight":1e40}]}`,
+		`{"add":[{"src":0,"dst":1,"weight":-2}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/graphs/g/edges", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Nothing was logged: the graph still reports no pending deltas.
+	code, info := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	if pd, _ := info["pending_deltas"].(float64); pd != 0 {
+		t.Fatalf("pending_deltas = %v after rejected batches, want 0", pd)
+	}
+}
+
 // TestIngestRemoveThenReAdd drives the tombstone semantics over HTTP:
 // removals apply before insertions within a batch.
 func TestIngestRemoveThenReAdd(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"nxgraph/internal/dynamic"
 	"nxgraph/internal/engine"
 	"nxgraph/internal/metrics"
+	"nxgraph/internal/wal"
 )
 
 // errAlreadyOpen marks open() failures caused by a name collision (the
@@ -63,6 +64,16 @@ type graphEntry struct {
 	deltaClosed bool
 	stats       *metrics.ServerStats
 
+	// wal is the graph's write-ahead log (nil when Config.DisableWAL):
+	// handleIngest appends to it and acks only after the batch is
+	// durable; its commit hook lands batches in delta in sequence
+	// order. storeGen is the served store's compaction generation from
+	// its MANIFEST — the next compaction stamps storeGen+1 into the
+	// rebuilt store. Both are written at open and (storeGen) by the
+	// serialized compaction path.
+	wal      *wal.Log
+	storeGen uint64
+
 	// compactMu guards compactJob, the entry's one live compaction.
 	compactMu  sync.Mutex
 	compactJob *Job
@@ -108,10 +119,11 @@ type registry struct {
 	seq    int64             // uid generator
 	stats  *metrics.ServerStats
 	cache  *blockcache.Cache // shared block cache handed to every entry
+	walCfg walConfig         // WAL settings applied to every opened graph
 	log    *slog.Logger
 }
 
-func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache, log *slog.Logger) *registry {
+func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache, walCfg walConfig, log *slog.Logger) *registry {
 	if log == nil {
 		log = slog.Default()
 	}
@@ -120,6 +132,7 @@ func newRegistry(stats *metrics.ServerStats, cache *blockcache.Cache, log *slog.
 		dirs:   make(map[string]string),
 		stats:  stats,
 		cache:  cache,
+		walCfg: walCfg,
 		log:    log,
 	}
 }
@@ -155,6 +168,12 @@ func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, err
 	if err != nil {
 		return nil, err
 	}
+	// Repair crash litter (an interrupted compaction swap) before the
+	// store is touched: the sweep may be the thing that puts the dsss
+	// directory back in place.
+	if err := sweepStaleStoreDirs(dir, r.log); err != nil {
+		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
+	}
 	g, err := nxgraph.Open(dir, opt)
 	if err != nil {
 		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
@@ -164,9 +183,17 @@ func (r *registry) open(name, dir string, opt nxgraph.Options) (*graphEntry, err
 	e.bcGen = blockcache.NextGeneration()
 	e.bind(g)
 	e.graph.Store(g)
+	// Open the WAL and replay its tail (acked batches beyond the
+	// store's MANIFEST position) into the delta log before the entry is
+	// visible to traffic.
+	if err := e.openWAL(r.walCfg, r.log); err != nil {
+		g.Close()
+		return nil, fmt.Errorf("server: open graph %q: %w", name, err)
+	}
 	r.mu.Lock()
 	if err := check(); err != nil {
 		r.mu.Unlock()
+		e.closeWAL()
 		g.Close()
 		return nil, err
 	}
@@ -354,7 +381,7 @@ func (r *registry) closeEntry(e *graphEntry) error {
 	e.closed = true
 	e.runMu.Unlock()
 	e.closeDeltas()
-	err := e.live().Close()
+	err := errors.Join(e.closeWAL(), e.live().Close())
 	if e.cache != nil {
 		// No run can start on a closed entry, so the generation's blocks
 		// are unreachable: free their budget share now.
@@ -385,6 +412,9 @@ func (r *registry) closeAll() {
 		e.closed = true
 		e.runMu.Unlock()
 		e.closeDeltas()
+		if err := e.closeWAL(); err != nil {
+			r.log.Error("wal close failed", "graph", e.name, "error", err.Error())
+		}
 		e.live().Close()
 		if e.cache != nil {
 			e.cache.InvalidateGeneration(e.bcGen)

@@ -10,10 +10,12 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	nxgraph "nxgraph"
 	"nxgraph/internal/blockcache"
 	"nxgraph/internal/metrics"
+	"nxgraph/internal/wal"
 )
 
 // Config tunes a Server.
@@ -50,6 +52,26 @@ type Config struct {
 	BlockCacheBytes int64
 	// GraphOptions is applied when opening graphs via the API.
 	GraphOptions nxgraph.Options
+	// WALSync selects the ingestion write-ahead log's fsync policy:
+	// wal.SyncBatch (default — group commit, one fsync per coalesced
+	// batch of concurrent appends), wal.SyncAlways, or wal.SyncOff.
+	WALSync wal.SyncPolicy
+	// WALMaxDelay stretches the group-commit window: after picking up
+	// work the committer waits up to this long for more appends before
+	// syncing. 0 (default) coalesces only what queued during the
+	// previous fsync, adding no latency.
+	WALMaxDelay time.Duration
+	// WALMaxBatch caps ingest batches per fsync (default 256).
+	WALMaxBatch int
+	// WALSegmentBytes rolls WAL segment files at this size (default
+	// 64 MiB).
+	WALSegmentBytes int64
+	// DisableWAL turns ingestion durability off: edge batches are acked
+	// on visibility alone, as before the WAL existed, and a crash loses
+	// everything since the last compaction. For embedders and
+	// benchmarks; nxserve always runs with the WAL on (-fsync=off keeps
+	// the log but skips fsyncs).
+	DisableWAL bool
 	// Logger receives the server's structured logs; nil selects
 	// slog.Default().
 	Logger *slog.Logger
@@ -83,6 +105,7 @@ type Server struct {
 	cache  *resultCache
 	blocks *blockcache.Cache // shared sub-shard block cache
 	stats  *metrics.ServerStats
+	walSt  *wal.Stats // WAL counters pooled across all graphs
 	hist   *metrics.ServerHistograms
 	log    *slog.Logger
 	mux    *http.ServeMux
@@ -112,13 +135,24 @@ func New(cfg Config) *Server {
 	}
 	cache := newResultCache(cfg.CacheBytes, stats)
 	blocks := blockcache.New(blockBudget)
+	walStats := &wal.Stats{}
+	walCfg := walConfig{
+		disabled: cfg.DisableWAL,
+		policy:   cfg.WALSync,
+		maxDelay: cfg.WALMaxDelay,
+		maxBatch: cfg.WALMaxBatch,
+		segment:  cfg.WALSegmentBytes,
+		stats:    walStats,
+		observe:  func(d time.Duration) { hist.WALFsync.Observe(d.Seconds()) },
+	}
 	s := &Server{
 		cfg:    cfg,
-		reg:    newRegistry(stats, blocks, logger),
+		reg:    newRegistry(stats, blocks, walCfg, logger),
 		sched:  newScheduler(cfg.Workers, cfg.QueueCap, cfg.RetainJobs, cfg.MaxBatch, cfg.RetainBytes, cache, stats, hist, logger),
 		cache:  cache,
 		blocks: blocks,
 		stats:  stats,
+		walSt:  walStats,
 		hist:   hist,
 		log:    logger,
 		mux:    http.NewServeMux(),
@@ -495,6 +529,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.stats.WritePrometheus(w)
 	metrics.WriteBlockCachePrometheus(w, s.blocks.Stats())
+	metrics.WriteWALPrometheus(w,
+		s.walSt.Appends.Load(), s.walSt.Fsyncs.Load(),
+		s.walSt.ReplayedBatches.Load(), s.walSt.TornTails.Load())
 	s.hist.WritePrometheus(w)
 	metrics.WriteBuildInfo(w, s.cfg.Version)
 }

@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the default error FaultFS injects when a scheduled
+// fault fires without an explicit error.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps an FS and injects failures at exact I/O points: the Nth
+// segment write can fail outright or tear (persist a prefix of the
+// buffer, then error — a short write), and the Nth sync can fail. It is
+// how the tests exercise ENOSPC, torn tails and fsync loss without
+// killing the process.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// Countdowns: a fault fires when its counter, decremented per
+	// matching call, reaches zero. Zero means "not armed".
+	failWriteIn int
+	shortBytes  int // on a write fault, persist this many bytes first
+	writeErr    error
+	failSyncIn  int
+	syncErr     error
+	writes      int
+	syncs       int
+}
+
+// NewFaultFS wraps inner (OSFS{} if nil).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner}
+}
+
+// FailWrite arms the nth upcoming segment write (1-based) to fail with
+// err after persisting shortBytes of the buffer (0 = nothing reaches
+// the file). A nil err injects ErrInjected.
+func (f *FaultFS) FailWrite(n, shortBytes int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.failWriteIn, f.shortBytes, f.writeErr = n, shortBytes, err
+}
+
+// FailSync arms the nth upcoming sync (1-based) to fail with err (nil =
+// ErrInjected).
+func (f *FaultFS) FailSync(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	f.failSyncIn, f.syncErr = n, err
+}
+
+// Counts reports how many segment writes and syncs have been issued.
+func (f *FaultFS) Counts() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+// onWrite decides the fate of one write call. It returns how many bytes
+// to pass through and the error to report after them (nil = no fault).
+func (f *FaultFS) onWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.failWriteIn > 0 {
+		f.failWriteIn--
+		if f.failWriteIn == 0 {
+			short := f.shortBytes
+			if short > n {
+				short = n
+			}
+			return short, f.writeErr
+		}
+	}
+	return n, nil
+}
+
+func (f *FaultFS) onSync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncIn > 0 {
+		f.failSyncIn--
+		if f.failSyncIn == 0 {
+			return f.syncErr
+		}
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error           { return f.inner.MkdirAll(dir) }
+func (f *FaultFS) List(dir string) ([]string, error)   { return f.inner.List(dir) }
+func (f *FaultFS) OpenRead(p string) (ReadFile, error) { return f.inner.OpenRead(p) }
+func (f *FaultFS) Remove(p string) error               { return f.inner.Remove(p) }
+func (f *FaultFS) Truncate(p string, n int64) error    { return f.inner.Truncate(p, n) }
+func (f *FaultFS) SyncDir(dir string) error            { return f.inner.SyncDir(dir) }
+
+func (f *FaultFS) OpenAppend(p string) (File, error) {
+	inner, err := f.inner.OpenAppend(p)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	pass, ferr := f.fs.onWrite(len(p))
+	if ferr == nil {
+		return f.inner.Write(p)
+	}
+	n := 0
+	if pass > 0 {
+		// Tear the record: persist the allowed prefix for real so a
+		// reopened log sees exactly what a crashed kernel would have
+		// left behind.
+		n, _ = f.inner.Write(p[:pass])
+	}
+	return n, ferr
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.onSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

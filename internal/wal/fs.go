@@ -1,0 +1,100 @@
+// Package wal implements the ingestion write-ahead log: a segmented,
+// CRC32C-checksummed, append-only log of dynamic.Op batches with group
+// commit. The server appends every accepted ingest batch before acking
+// it and replays the tail into the DeltaLog when a graph opens, so
+// acknowledged edges survive a crash (docs/durability.md).
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS abstracts the file operations the log performs. Production uses
+// OSFS; tests inject FaultFS to fail, short-write or ENOSPC the Nth
+// write or sync at exact points.
+type FS interface {
+	MkdirAll(dir string) error
+	// List returns the names (not paths) of dir's entries, sorted.
+	List(dir string) ([]string, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	OpenRead(path string) (ReadFile, error)
+	Remove(path string) error
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata, making segment creations and
+	// removals durable.
+	SyncDir(dir string) error
+}
+
+// File is an append handle on one segment.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// ReadFile is a sequential read handle on one segment.
+type ReadFile interface {
+	io.Reader
+	io.Closer
+	Size() (int64, error)
+}
+
+// OSFS is the real-filesystem FS.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) OpenRead(path string) (ReadFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osReadFile{f}, nil
+}
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+type osReadFile struct{ *os.File }
+
+func (f osReadFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

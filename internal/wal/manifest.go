@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's filename inside a store directory.
+const ManifestName = "MANIFEST"
+
+// Manifest anchors a store directory to a position in the WAL: every
+// batch with sequence <= LastAppliedSeq is folded into the store's
+// edges, so replay-on-open starts right after it. Compaction writes the
+// manifest into the rebuilt directory *before* the swap renames — the
+// rename that publishes the store publishes its replay point atomically
+// with it. A store without a manifest (the pre-WAL layout, or a store
+// built by nxpre) reads as the zero Manifest: replay from the start.
+type Manifest struct {
+	// Generation counts compactions of this store lineage.
+	Generation uint64 `json:"generation"`
+	// LastAppliedSeq is the highest WAL sequence folded into the store.
+	LastAppliedSeq uint64 `json:"last_applied_seq"`
+}
+
+// ReadManifest loads the manifest inside store dir. A missing file is
+// not an error — it returns the zero Manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("wal: manifest %s: %w", filepath.Join(dir, ManifestName), err)
+	}
+	return m, nil
+}
+
+// WriteManifest durably writes the manifest inside store dir
+// (write-to-temp, fsync, rename, fsync dir).
+func WriteManifest(dir string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, ManifestName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(b, '\n'))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return OSFS{}.SyncDir(dir)
+}
