@@ -161,7 +161,7 @@ var walMetrics = []struct {
 	name string
 	help string
 }{
-	{"nxserve_wal_appends_total", "Batches appended to write-ahead logs."},
+	{"nxserve_wal_appends_total", "Batches durably appended to write-ahead logs and acked to their appenders."},
 	{"nxserve_wal_fsyncs_total", "Write-ahead-log fsyncs (group commit coalesces batches per fsync)."},
 	{"nxserve_wal_replayed_batches_total", "Batches replayed from write-ahead logs on graph open."},
 	{"nxserve_wal_torn_tails_total", "Torn write-ahead-log tails truncated on graph open."},

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	iofs "io/fs"
 	"os"
+	"path/filepath"
 	"time"
 
 	nxgraph "nxgraph"
@@ -148,6 +150,14 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 	// opens attribute/hub files lazily by path, so serving from a store
 	// whose directory was renamed underneath it would misroute them.
 	res.Store.Close()
+	// Flush the rebuilt store to stable storage while it is still
+	// private: the preprocess write path never fsyncs, and once the swap
+	// below durably GCs the WAL prefix that produced these edges, a
+	// power loss would have nothing left to rebuild them from.
+	if err := syncTree(tmpAbs); err != nil {
+		os.RemoveAll(tmpAbs)
+		return nil, fmt.Errorf("server: graph %q: sync rebuilt store: %w", e.name, err)
+	}
 	// Stamp the rebuilt store with its WAL position while it is still
 	// private: once the swap renames publish it, replay-on-open must
 	// know that batches up to markSeq are already folded into its
@@ -229,10 +239,18 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 	}
 	os.RemoveAll(prev)
 	e.storeGen++
-	// The published manifest covers every batch up to markSeq, so WAL
-	// segments holding only those batches are dead weight: drop them.
-	// Failure is cosmetic — replay dedups whatever survives.
-	if e.wal != nil {
+	// Make the swap renames durable before GC'ing the WAL prefix: until
+	// the graph root's directory entries are on stable storage, a power
+	// loss can roll the root back to the old store, and the only thing
+	// that can re-create the compacted batches is the very prefix the GC
+	// removes. On sync failure keep the segments — replay dedups them.
+	if err := (wal.OSFS{}).SyncDir(disk.Root()); err != nil {
+		s.log.Warn("graph root sync failed; keeping wal segments",
+			"graph", e.name, "error", err.Error())
+	} else if e.wal != nil {
+		// The published manifest covers every batch up to markSeq, so WAL
+		// segments holding only those batches are dead weight: drop them.
+		// Failure is cosmetic — replay dedups whatever survives.
 		if err := e.wal.TruncateThrough(markSeq); err != nil {
 			s.log.Warn("wal gc failed", "graph", e.name, "error", err.Error())
 		}
@@ -253,6 +271,43 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 		},
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
+}
+
+// syncTree fsyncs every regular file under root and then the
+// directories themselves (children before parents), putting a freshly
+// rebuilt store on stable storage before its WAL coverage is dropped.
+func syncTree(root string) error {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+			return nil
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		serr := f.Sync()
+		if cerr := f.Close(); serr == nil {
+			serr = cerr
+		}
+		return serr
+	})
+	if err != nil {
+		return err
+	}
+	for i := len(dirs) - 1; i >= 0; i-- {
+		if err := (wal.OSFS{}).SyncDir(dirs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reopenLocked restores the entry's graph from its directory after a

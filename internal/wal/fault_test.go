@@ -2,8 +2,10 @@ package wal
 
 import (
 	"errors"
+	"sync"
 	"syscall"
 	"testing"
+	"time"
 
 	"nxgraph/internal/dynamic"
 )
@@ -87,6 +89,90 @@ func TestShortWriteLeavesRecoverableTornTail(t *testing.T) {
 	}
 	if got := collect(t, l2, 0); len(got) != 3 {
 		t.Fatalf("replay found %d batches, want the 3 acked ones", len(got))
+	}
+}
+
+// TestPoisonFailsRestOfDrainedBatch covers the multi-chunk drain case:
+// when an early chunk tears the tail and poisons the log, the committer
+// must fail the chunks it has not written yet, not append them past the
+// tear — records after a torn one would be acked as durable and then
+// silently truncated away by the next Open.
+func TestPoisonFailsRestOfDrainedBatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var hookOnce sync.Once
+	l, err := Open(dir, Options{
+		FS:       ffs,
+		MaxBatch: 1, // every drained append is its own chunk
+		Commit: func(seq uint64, ops []dynamic.Op) error {
+			// Park the committer inside batch 1's commit so appends 2
+			// and 3 pile up in the queue and drain together.
+			hookOnce.Do(func() {
+				close(entered)
+				<-gate
+			})
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := l.Append(batch(1, 1))
+		firstDone <- err
+	}()
+	<-entered
+
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(tag uint64) {
+			_, err := l.Append(batch(1, tag))
+			errs <- err
+		}(uint64(10 + i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		queued := len(l.queue)
+		l.mu.Unlock()
+		if queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("appends 2 and 3 never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next segment write (batch 2's record) tears after 9 bytes.
+	ffs.FailWrite(1, 9, ErrInjected)
+	close(gate)
+
+	if err := <-firstDone; err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrFailed) {
+			t.Fatalf("append drained behind the torn chunk: err=%v, want ErrFailed", err)
+		}
+	}
+	l.Close()
+
+	// Reopen: exactly the one acked batch survives; the torn record is
+	// truncated and nothing was buried behind it.
+	stats := &Stats{}
+	l2, err := Open(dir, Options{Stats: stats})
+	if err != nil {
+		t.Fatalf("reopen after mid-drain poison: %v", err)
+	}
+	defer l2.Close()
+	if got := stats.TornTails.Load(); got != 1 {
+		t.Fatalf("torn tails = %d, want 1", got)
+	}
+	if got := collect(t, l2, 0); len(got) != 1 {
+		t.Fatalf("replay found %d batches, want only the acked one", len(got))
 	}
 }
 

@@ -458,6 +458,22 @@ func (l *Log) committer() {
 			}
 			l.commitChunk(batch[:n])
 			batch = batch[n:]
+			if len(batch) == 0 {
+				break
+			}
+			l.mu.Lock()
+			failed := l.failed
+			l.mu.Unlock()
+			if failed != nil {
+				// The chunk poisoned the log: the tail may be torn, and
+				// anything written past the tear would be acked now but
+				// truncated away on reopen. Fail the rest of the drained
+				// batch instead of committing it.
+				for _, r := range batch {
+					r.done <- failed
+				}
+				break
+			}
 		}
 	}
 }
@@ -501,7 +517,12 @@ func (l *Log) commitChunk(reqs []*appendReq) {
 		if l.opt.Commit != nil {
 			err = l.opt.Commit(r.seq, r.ops)
 		}
-		l.opt.Stats.Appends.Add(1)
+		if err == nil {
+			// Count only fully acked batches: a Commit-hook failure fails
+			// the Append even though the record is durable, and the
+			// counter's contract is acked, not written.
+			l.opt.Stats.Appends.Add(1)
+		}
 		r.done <- err
 	}
 	if werr != nil {
