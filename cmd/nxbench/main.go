@@ -30,6 +30,8 @@ func main() {
 		iters      = flag.Int("iters", 10, "PageRank iterations")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		cacheMB    = flag.Int("cache-mb", -1, "sub-shard block cache budget in MiB per engine (-1 = derive from each experiment's budget, 0 = disable)")
+		l2Frac     = flag.Float64("cache-l2-frac", 0, "fraction of each cache budget held as encoded blobs (0 = default quarter, negative = disable the encoded tier)")
+		format     = flag.Int("format", 0, "store format the suite builds: 0 = current default, 1 = fixed-width, 2 = delta+varint compressed")
 		quiet      = flag.Bool("q", false, "suppress progress logging")
 		showTrace  = flag.Bool("trace", false, "run a traced PageRank and print its per-iteration compute-vs-stall breakdown")
 		batch      = flag.Int("batch", 0, "run N personalized PageRank queries sequentially vs as one fused batch and print the speedup (0 = skip)")
@@ -49,6 +51,8 @@ func main() {
 	case *cacheMB == 0:
 		s.CacheBytes = -1 // disable
 	}
+	s.CacheL2Frac = *l2Frac
+	s.Format = *format
 	if !*quiet {
 		s.Log = os.Stderr
 	}
@@ -128,6 +132,9 @@ func main() {
 		show(s.Batch(*batch))
 	}
 	if sum := s.CacheSummary(); sum != "" {
+		fmt.Println(sum)
+	}
+	if sum := s.CompressionSummary(); sum != "" {
 		fmt.Println(sum)
 	}
 	if *memProfile != "" {

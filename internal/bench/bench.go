@@ -48,6 +48,12 @@ type Suite struct {
 	// budget (so budgeted experiments still measure streaming I/O),
 	// positive sets the budget in bytes, negative disables caching.
 	CacheBytes int64
+	// CacheL2Frac is every engine's encoded-tier share of the cache
+	// budget (0 = default quarter, negative = decoded tier only).
+	CacheL2Frac float64
+	// Format selects the store encoding the suite writes; 0 picks
+	// storage.DefaultFormatVersion.
+	Format int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 
@@ -56,6 +62,10 @@ type Suite struct {
 	// cacheTotals accumulates the final block-cache counters of every
 	// engine the suite created (read when the engine's store closes).
 	cacheTotals blockcache.Stats
+	// encodedBytes/fixedBytes accumulate each built store's on-disk
+	// sub-shard footprint against its fixed-width equivalent, for the
+	// compression line in summaries.
+	encodedBytes, fixedBytes int64
 }
 
 // NewSuite returns a Suite with the paper's defaults at reduced scale.
@@ -109,14 +119,21 @@ func (s *Suite) buildStore(g *graph.EdgeList, p int, transpose bool, prof diskio
 	dir := fmt.Sprintf("store-%04d", s.nstore)
 	build := diskio.MustNew(wd, diskio.Unthrottled)
 	res, err := preprocess.FromEdgeList(build, dir, g, preprocess.Options{
-		Name: dir, P: p, Transpose: transpose,
+		Name: dir, P: p, Transpose: transpose, Format: s.Format,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Store.Close()
 	run := diskio.MustNew(wd, prof)
-	return storage.Open(run, dir)
+	st, err := storage.Open(run, dir)
+	if err != nil {
+		return nil, err
+	}
+	enc, fixed := st.CompressionRatio()
+	s.encodedBytes += enc
+	s.fixedBytes += fixed
+	return st, nil
 }
 
 // nxEngine builds an engine over a fresh store of g. The returned
@@ -133,6 +150,7 @@ func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Co
 	if s.CacheBytes != 0 {
 		cfg.CacheBytes = s.CacheBytes
 	}
+	cfg.CacheL2Frac = s.CacheL2Frac
 	e, err := engine.New(st, cfg)
 	if err != nil {
 		st.Close()
@@ -141,8 +159,10 @@ func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Co
 	return e, func() {
 		cs := e.CacheStats()
 		s.cacheTotals.Hits += cs.Hits
+		s.cacheTotals.L2Hits += cs.L2Hits
 		s.cacheTotals.Misses += cs.Misses
 		s.cacheTotals.Evictions += cs.Evictions
+		s.cacheTotals.L2Evictions += cs.L2Evictions
 		st.Close()
 	}, nil
 }
@@ -150,6 +170,17 @@ func (s *Suite) nxEngine(g *graph.EdgeList, p int, transpose bool, cfg engine.Co
 // CacheSummary reports the block-cache traffic aggregated over every
 // engine the suite ran, or "" before any engine closed.
 func (s *Suite) CacheSummary() string { return s.cacheTotals.Summary() }
+
+// CompressionSummary reports the on-disk sub-shard footprint of every
+// store the suite built against its fixed-width (v1) equivalent, or ""
+// when nothing was built or the stores are uncompressed.
+func (s *Suite) CompressionSummary() string {
+	if s.fixedBytes == 0 || s.encodedBytes >= s.fixedBytes {
+		return ""
+	}
+	return fmt.Sprintf("store compression: %d B encoded vs %d B fixed-width (%.2fx)",
+		s.encodedBytes, s.fixedBytes, float64(s.fixedBytes)/float64(s.encodedBytes))
+}
 
 // realGraphs lists the paper's three real-world datasets (stand-ins).
 var realGraphs = []string{"livejournal", "twitter", "yahoo"}

@@ -19,6 +19,17 @@
 //     so a pipeline that pins the next batch while computing on the
 //     current one may transiently exceed the budget by the pinned set.
 //
+// With the v2 store format the encoded blob is 3-4x smaller than the
+// decoded block, which makes holding encoded bytes a much cheaper way to
+// avoid disk than holding decoded ones. GetTiered exploits this with a
+// second tier: L1 holds decoded blocks (as above), L2 holds the raw
+// encoded blobs keyed without the decoded-form bit, so the CSR and flat
+// forms of one sub-shard share a single blob. An L1 miss that finds its
+// blob in L2 re-decodes from RAM instead of re-reading from disk; only an
+// L2 miss touches the store. Each tier has its own budget and LRU; the
+// blob is pinned (refcounted) for the duration of the decode, so L2
+// eviction can never free bytes a decode is still reading.
+//
 // Keys carry a store generation: when a store's content is replaced
 // (background compaction swapping a rebuilt store in), the owner
 // allocates a fresh generation for the new store and invalidates the old
@@ -50,6 +61,19 @@ type Key struct {
 	Flat      bool
 }
 
+// L2Key identifies one encoded blob in the L2 tier. It is Key without
+// the Flat bit: the CSR and source-sorted forms of a sub-shard decode
+// from the same bytes, so they share one L2 entry.
+type L2Key struct {
+	Gen       uint64
+	I, J      int
+	Transpose bool
+}
+
+func (k Key) l2() L2Key {
+	return L2Key{Gen: k.Gen, I: k.I, J: k.J, Transpose: k.Transpose}
+}
+
 // generation is the process-wide store-generation counter.
 var generation atomic.Uint64
 
@@ -76,48 +100,90 @@ type entry struct {
 	elem   *list.Element // non-nil iff refs == 0 and the entry is evictable
 }
 
+// l2entry is one cached encoded blob. It has the same lifecycle as entry
+// (born pinned by the loading GetTiered, waiters block on ready, refs ==
+// 0 moves it to the L2 LRU, doomed defers the byte return of an
+// invalidated-while-pinned blob to the final unref).
+type l2entry struct {
+	key   L2Key
+	ready chan struct{}
+	blob  []byte
+	size  int64
+	err   error
+
+	refs   int
+	doomed bool
+	elem   *list.Element
+}
+
 // Stats is a point-in-time copy of the cache counters.
 type Stats struct {
 	// Hits counts Gets served from a resident or in-flight block
 	// (waiting on another Get's load counts as a hit: only one decode
 	// happened).
 	Hits int64
-	// Misses counts Gets that ran the loader.
+	// L2Hits counts L1 misses whose encoded blob was served from RAM
+	// (resident or in-flight in the L2 tier) — a decode happened but no
+	// disk read.
+	L2Hits int64
+	// Misses counts Gets that went to disk.
 	Misses int64
-	// Evictions counts blocks dropped to fit the budget.
+	// Evictions counts decoded blocks dropped to fit the L1 budget.
 	Evictions int64
-	// Invalidations counts blocks dropped by generation invalidation.
+	// L2Evictions counts encoded blobs dropped to fit the L2 budget.
+	L2Evictions int64
+	// Invalidations counts blocks and blobs dropped by generation
+	// invalidation, across both tiers.
 	Invalidations int64
-	// Blocks is the number of resident blocks (gauge).
+	// Blocks is the number of resident decoded blocks (gauge).
 	Blocks int64
+	// L2Blocks is the number of resident encoded blobs (gauge).
+	L2Blocks int64
 	// ResidentBytes is the decoded bytes held, pinned or not (gauge).
 	ResidentBytes int64
 	// PinnedBytes is the subset of ResidentBytes held by unreleased
 	// handles (gauge).
 	PinnedBytes int64
+	// L2ResidentBytes is the encoded bytes held in the L2 tier (gauge).
+	L2ResidentBytes int64
+	// L2PinnedBytes is the subset of L2ResidentBytes pinned by in-flight
+	// decodes (gauge).
+	L2PinnedBytes int64
 }
 
-// HitRatio returns hits / (hits + misses), or 0 before any traffic.
+// HitRatio returns the fraction of lookups served without a decode:
+// hits / (hits + l2hits + misses), or 0 before any traffic. L2 hits are
+// in the denominator only — they saved the disk read but still paid the
+// decode.
 func (s Stats) HitRatio() float64 {
-	if s.Hits+s.Misses == 0 {
+	total := s.Hits + s.L2Hits + s.Misses
+	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
+	return float64(s.Hits) / float64(total)
 }
 
 // Summary renders the one-line human summary the CLIs print, or ""
-// before any traffic.
+// before any traffic. The L2 clause appears only when the tier saw
+// traffic, so single-tier caches keep their old summary.
 func (s Stats) Summary() string {
-	if s.Hits+s.Misses == 0 {
+	if s.Hits+s.L2Hits+s.Misses == 0 {
 		return ""
 	}
-	return fmt.Sprintf("block cache: %d hits, %d misses (%.1f%% hit ratio), %d evictions",
+	out := fmt.Sprintf("block cache: %d hits, %d misses (%.1f%% hit ratio), %d evictions",
 		s.Hits, s.Misses, 100*s.HitRatio(), s.Evictions)
+	if s.L2Hits > 0 || s.L2Blocks > 0 || s.L2Evictions > 0 {
+		out += fmt.Sprintf("; L2: %d hits, %d blobs resident (%d B), %d evictions",
+			s.L2Hits, s.L2Blocks, s.L2ResidentBytes, s.L2Evictions)
+	}
+	return out
 }
 
-// Cache is the shared block cache. The zero value is not usable; use New.
+// Cache is the shared block cache. The zero value is not usable; use New
+// or NewTiered.
 type Cache struct {
-	budget int64 // < 0 unlimited; >= 0 resident-byte budget (0 = pins only)
+	budget   int64 // < 0 unlimited; >= 0 resident-byte budget (0 = pins only)
+	l2budget int64 // 0 disables the L2 tier; < 0 unlimited
 
 	mu       sync.Mutex
 	entries  map[Key]*entry
@@ -125,23 +191,67 @@ type Cache struct {
 	resident int64
 	pinned   int64
 
-	hits, misses, evictions, invalidations atomic.Int64
+	l2entries  map[L2Key]*l2entry
+	l2lru      *list.List
+	l2resident int64
+	l2pinned   int64
+
+	hits, l2hits, misses                  atomic.Int64
+	evictions, l2evictions, invalidations atomic.Int64
 }
 
-// New creates a cache with the given resident-byte budget. A negative
-// budget means unlimited; zero keeps nothing beyond the currently pinned
-// blocks (caching disabled, but loads still coalesce and handles still
-// pin, so pipelined prefetch works unchanged).
+// New creates a single-tier cache with the given resident-byte budget. A
+// negative budget means unlimited; zero keeps nothing beyond the
+// currently pinned blocks (caching disabled, but loads still coalesce
+// and handles still pin, so pipelined prefetch works unchanged).
 func New(budget int64) *Cache {
+	return NewTiered(budget, 0)
+}
+
+// NewTiered creates a cache with separate budgets for decoded blocks
+// (l1) and encoded blobs (l2). l2 == 0 disables the encoded tier —
+// GetTiered then behaves exactly like Get with a composed loader.
+func NewTiered(l1, l2 int64) *Cache {
 	return &Cache{
-		budget:  budget,
-		entries: make(map[Key]*entry),
-		lru:     list.New(),
+		budget:    l1,
+		l2budget:  l2,
+		entries:   make(map[Key]*entry),
+		lru:       list.New(),
+		l2entries: make(map[L2Key]*l2entry),
+		l2lru:     list.New(),
 	}
 }
 
-// Budget returns the configured resident-byte budget (< 0 = unlimited).
+// DefaultL2Frac is the fraction of a combined cache budget given to the
+// encoded tier when the caller does not choose one. Encoded blobs are
+// 3-4x denser than decoded blocks, so a quarter of the bytes holds
+// roughly as many sub-shards as the decoded three quarters.
+const DefaultL2Frac = 0.25
+
+// SplitBudget divides a combined cache budget between the tiers. frac is
+// the L2 share: 0 picks DefaultL2Frac, negative disables L2, and values
+// are capped at 0.9 so L1 always keeps working room. An unlimited
+// (negative) total disables L2 outright — with no eviction pressure in
+// L1 the encoded tier would only duplicate bytes.
+func SplitBudget(total int64, frac float64) (l1, l2 int64) {
+	if total < 0 || frac < 0 {
+		return total, 0
+	}
+	if frac == 0 {
+		frac = DefaultL2Frac
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	l2 = int64(float64(total) * frac)
+	return total - l2, l2
+}
+
+// Budget returns the configured L1 resident-byte budget (< 0 = unlimited).
 func (c *Cache) Budget() int64 { return c.budget }
+
+// L2Budget returns the configured L2 budget (0 = tier disabled).
+func (c *Cache) L2Budget() int64 { return c.l2budget }
 
 // Handle is a pinned reference to a cached block. The block cannot be
 // evicted until Release; the value must not be mutated (it is shared by
@@ -216,6 +326,121 @@ func (c *Cache) Get(key Key, load func() (val any, size int64, err error)) (*Han
 	return &Handle{c: c, e: e}, nil
 }
 
+// GetTiered returns a pinned handle for key, consulting the encoded
+// tier between the decoded tier and disk: an L1 hit returns the decoded
+// block; an L1 miss with the blob in L2 runs decode on the in-RAM bytes;
+// only an L2 miss runs loadRaw (the disk read). Both tiers single-flight
+// — concurrent callers coalesce per Key on the decode and per L2Key on
+// the disk read, so two decoded forms of one sub-shard share one read.
+// The blob stays pinned until decode returns, so eviction can never free
+// it mid-decode. With the L2 tier disabled this is Get with a composed
+// loader.
+func (c *Cache) GetTiered(key Key, loadRaw func() ([]byte, error), decode func(blob []byte) (val any, size int64, err error)) (*Handle, error) {
+	if c.l2budget == 0 {
+		return c.Get(key, func() (any, int64, error) {
+			blob, err := loadRaw()
+			if err != nil {
+				return nil, 0, err
+			}
+			return decode(blob)
+		})
+	}
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.ref(e)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			c.mu.Lock()
+			e.refs--
+			c.mu.Unlock()
+			return nil, e.err
+		}
+		c.hits.Add(1)
+		return &Handle{c: c, e: e}, nil
+	}
+	// L1 miss: claim the key (single-flight for this decoded form), then
+	// fetch the blob with an L2 ref held across the decode.
+	e := &entry{key: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
+
+	le, err := c.l2get(key.l2(), loadRaw) // unlocks c.mu
+	var val any
+	var size int64
+	if err == nil {
+		val, size, err = decode(le.blob)
+		c.mu.Lock()
+		c.l2unref(le)
+		c.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	e.val, e.size, e.err = val, size, err
+	if err != nil {
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		e.refs--
+	} else {
+		c.resident += size
+		c.pinned += size
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, e: e}, nil
+}
+
+// l2get returns the blob entry for k with one reference held by the
+// caller, loading it via loadRaw on an L2 miss. Called with c.mu held;
+// returns with it released. On error no reference is held.
+func (c *Cache) l2get(k L2Key, loadRaw func() ([]byte, error)) (*l2entry, error) {
+	if le, ok := c.l2entries[k]; ok {
+		c.l2ref(le)
+		c.mu.Unlock()
+		<-le.ready
+		if le.err != nil {
+			c.mu.Lock()
+			le.refs--
+			c.mu.Unlock()
+			return nil, le.err
+		}
+		// Served from RAM even if we waited on another caller's disk
+		// read: only one read happened.
+		c.l2hits.Add(1)
+		return le, nil
+	}
+	le := &l2entry{key: k, ready: make(chan struct{}), refs: 1}
+	c.l2entries[k] = le
+	c.mu.Unlock()
+
+	blob, err := loadRaw()
+
+	c.mu.Lock()
+	le.blob, le.size, le.err = blob, int64(len(blob)), err
+	if err != nil {
+		if c.l2entries[k] == le {
+			delete(c.l2entries, k)
+		}
+		le.refs--
+	} else {
+		c.l2resident += le.size
+		c.l2pinned += le.size
+		c.misses.Add(1)
+		c.evictL2Locked()
+	}
+	c.mu.Unlock()
+	close(le.ready)
+	if err != nil {
+		return nil, err
+	}
+	return le, nil
+}
+
 // ref pins e. Caller holds mu.
 func (c *Cache) ref(e *entry) {
 	if e.refs == 0 {
@@ -263,6 +488,52 @@ func (c *Cache) evictLocked() {
 	}
 }
 
+// l2ref pins le. Caller holds mu.
+func (c *Cache) l2ref(le *l2entry) {
+	if le.refs == 0 {
+		c.l2lru.Remove(le.elem)
+		le.elem = nil
+		c.l2pinned += le.size
+	}
+	le.refs++
+}
+
+// l2unref unpins le. Caller holds mu.
+func (c *Cache) l2unref(le *l2entry) {
+	le.refs--
+	if le.refs > 0 || le.err != nil {
+		return
+	}
+	c.l2pinned -= le.size
+	if le.doomed {
+		c.l2resident -= le.size
+		return
+	}
+	le.elem = c.l2lru.PushFront(le)
+	c.evictL2Locked()
+}
+
+// evictL2Locked drops least-recently-used unpinned blobs until the tier
+// fits its budget. Blobs pinned by an in-flight decode are skipped the
+// same way pinned blocks are in L1. Caller holds mu.
+func (c *Cache) evictL2Locked() {
+	if c.l2budget < 0 {
+		return
+	}
+	for c.l2resident > c.l2budget {
+		el := c.l2lru.Back()
+		if el == nil {
+			return
+		}
+		le := el.Value.(*l2entry)
+		c.l2lru.Remove(el)
+		le.elem = nil
+		delete(c.l2entries, le.key)
+		c.l2resident -= le.size
+		c.l2evictions.Add(1)
+	}
+}
+
 // InvalidateGeneration drops every block of the given store generation.
 // Unpinned blocks are freed immediately; pinned ones are unmapped now
 // (no future Get can return them) and their bytes are returned when the
@@ -286,6 +557,20 @@ func (c *Cache) InvalidateGeneration(gen uint64) {
 			e.doomed = true
 		}
 	}
+	for k, le := range c.l2entries {
+		if k.Gen != gen {
+			continue
+		}
+		delete(c.l2entries, k)
+		c.invalidations.Add(1)
+		if le.refs == 0 {
+			c.l2lru.Remove(le.elem)
+			le.elem = nil
+			c.l2resident -= le.size
+		} else {
+			le.doomed = true
+		}
+	}
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -293,14 +578,21 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	blocks := int64(len(c.entries))
 	resident, pinned := c.resident, c.pinned
+	l2blocks := int64(len(c.l2entries))
+	l2resident, l2pinned := c.l2resident, c.l2pinned
 	c.mu.Unlock()
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Evictions:     c.evictions.Load(),
-		Invalidations: c.invalidations.Load(),
-		Blocks:        blocks,
-		ResidentBytes: resident,
-		PinnedBytes:   pinned,
+		Hits:            c.hits.Load(),
+		L2Hits:          c.l2hits.Load(),
+		Misses:          c.misses.Load(),
+		Evictions:       c.evictions.Load(),
+		L2Evictions:     c.l2evictions.Load(),
+		Invalidations:   c.invalidations.Load(),
+		Blocks:          blocks,
+		L2Blocks:        l2blocks,
+		ResidentBytes:   resident,
+		PinnedBytes:     pinned,
+		L2ResidentBytes: l2resident,
+		L2PinnedBytes:   l2pinned,
 	}
 }

@@ -225,11 +225,338 @@ func TestNextGenerationUnique(t *testing.T) {
 	}
 }
 
+// rawLoad returns a loadRaw closure producing a fixed blob and counting
+// disk reads.
+func rawLoad(reads *atomic.Int64, blob []byte) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		reads.Add(1)
+		return blob, nil
+	}
+}
+
+// sizedDecode models decoding: the value is the blob, the accounted size
+// is an expansion of the encoded size (decoded blocks are bigger).
+func sizedDecode(decodes *atomic.Int64, expand int64) func([]byte) (any, int64, error) {
+	return func(blob []byte) (any, int64, error) {
+		decodes.Add(1)
+		return blob, int64(len(blob)) * expand, nil
+	}
+}
+
+// TestTieredL2HitAvoidsDisk is the tier's reason to exist: once the blob
+// is resident, an L1 miss costs a decode but no disk read.
+func TestTieredL2HitAvoidsDisk(t *testing.T) {
+	c := NewTiered(0, 1<<20) // L1 keeps nothing beyond pins
+	var reads, decodes atomic.Int64
+	blob := make([]byte, 100)
+	h, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, blob), sizedDecode(&decodes, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release() // zero L1 budget: the decoded block is dropped here
+	h, err = c.GetTiered(key(1, 0, 0), rawLoad(&reads, blob), sizedDecode(&decodes, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if reads.Load() != 1 || decodes.Load() != 2 {
+		t.Fatalf("reads=%d decodes=%d, want 1 disk read and 2 decodes", reads.Load(), decodes.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.L2Hits != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.L2ResidentBytes != 100 || st.L2PinnedBytes != 0 {
+		t.Fatalf("L2 accounting = %+v", st)
+	}
+}
+
+// TestTieredSharedBlobAcrossForms: the CSR and flat decoded forms of one
+// sub-shard differ only in Key.Flat, so they must share one L2 blob and
+// one disk read.
+func TestTieredSharedBlobAcrossForms(t *testing.T) {
+	c := NewTiered(1<<20, 1<<20)
+	var reads, decodes atomic.Int64
+	blob := make([]byte, 64)
+	csr := Key{Gen: 1, I: 2, J: 3}
+	flat := Key{Gen: 1, I: 2, J: 3, Flat: true}
+	h1, err := c.GetTiered(csr, rawLoad(&reads, blob), sizedDecode(&decodes, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.GetTiered(flat, rawLoad(&reads, blob), sizedDecode(&decodes, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads.Load() != 1 {
+		t.Fatalf("two decoded forms cost %d disk reads, want 1", reads.Load())
+	}
+	st := c.Stats()
+	if st.Blocks != 2 || st.L2Blocks != 1 || st.Misses != 1 || st.L2Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h1.Release()
+	h2.Release()
+}
+
+// TestTieredNoDoubleCharge audits the accounting when a sub-shard is
+// resident in both tiers: each tier charges its own representation, a
+// pinned decoded handle pins L1 bytes only, and the blob is unpinned the
+// moment its decode completes.
+func TestTieredNoDoubleCharge(t *testing.T) {
+	c := NewTiered(1<<20, 1<<20)
+	var reads, decodes atomic.Int64
+	blob := make([]byte, 100)
+	h, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, blob), sizedDecode(&decodes, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.ResidentBytes != 400 || st.PinnedBytes != 400 {
+		t.Fatalf("L1 charged %d resident / %d pinned, want 400/400", st.ResidentBytes, st.PinnedBytes)
+	}
+	if st.L2ResidentBytes != 100 || st.L2PinnedBytes != 0 {
+		t.Fatalf("L2 charged %d resident / %d pinned, want 100/0 (blob unpinned after decode)",
+			st.L2ResidentBytes, st.L2PinnedBytes)
+	}
+	h.Release()
+	st = c.Stats()
+	if st.PinnedBytes != 0 || st.ResidentBytes != 400 || st.L2ResidentBytes != 100 {
+		t.Fatalf("post-release stats = %+v", st)
+	}
+}
+
+// TestTieredDecodePinsBlob fills the L2 tier past its budget from inside
+// a decode callback: the blob being decoded is pinned and must survive
+// the eviction pressure; the idle blob is the victim.
+func TestTieredDecodePinsBlob(t *testing.T) {
+	c := NewTiered(-1, 100)
+	var reads atomic.Int64
+	blobA := []byte("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa") // 60 B
+	blobB := make([]byte, 60)
+	decodeA := func(blob []byte) (any, int64, error) {
+		// While A's blob is pinned by this decode, load B: 120 resident
+		// bytes against a 100-byte budget forces an eviction pass.
+		hB, err := c.GetTiered(key(1, 0, 1), rawLoad(&reads, blobB), sizedDecode(new(atomic.Int64), 1))
+		if err != nil {
+			t.Error(err)
+		}
+		hB.Release()
+		if st := c.Stats(); st.L2PinnedBytes != 60 {
+			t.Errorf("mid-decode L2PinnedBytes = %d, want 60 (blob A pinned)", st.L2PinnedBytes)
+		}
+		if string(blob) != string(blobA) {
+			t.Error("blob A corrupted mid-decode")
+		}
+		return string(blob), int64(len(blob)), nil
+	}
+	hA, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, blobA), decodeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hA.Release()
+	st := c.Stats()
+	// B (unpinned) was evicted to fit the budget; A's blob is still here.
+	if st.L2Evictions != 1 || st.L2Blocks != 1 || st.L2ResidentBytes != 60 {
+		t.Fatalf("stats = %+v, want blob B evicted and A resident", st)
+	}
+	var decodes atomic.Int64
+	h, err := c.GetTiered(Key{Gen: 1, Flat: true}, rawLoad(&reads, blobA), sizedDecode(&decodes, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if reads.Load() != 2 || decodes.Load() != 1 {
+		t.Fatalf("reads=%d (want 2: A once, B once) decodes=%d", reads.Load(), decodes.Load())
+	}
+}
+
+// TestTieredInvalidateBothTiers: a generation swap must drop the encoded
+// blobs too, or a compacted-away sub-shard could be re-decoded from
+// stale bytes.
+func TestTieredInvalidateBothTiers(t *testing.T) {
+	c := NewTiered(-1, -1)
+	var reads atomic.Int64
+	for j := 0; j < 3; j++ {
+		h, err := c.GetTiered(key(1, 0, j), rawLoad(&reads, make([]byte, 10)), sizedDecode(new(atomic.Int64), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	c.InvalidateGeneration(1)
+	st := c.Stats()
+	if st.Blocks != 0 || st.L2Blocks != 0 || st.ResidentBytes != 0 || st.L2ResidentBytes != 0 {
+		t.Fatalf("post-invalidate stats = %+v", st)
+	}
+	if st.Invalidations != 6 { // 3 decoded blocks + 3 blobs
+		t.Fatalf("invalidations = %d, want 6", st.Invalidations)
+	}
+	h, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, make([]byte, 10)), sizedDecode(new(atomic.Int64), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if reads.Load() != 4 {
+		t.Fatalf("invalidated blob served from L2 (reads=%d, want 4)", reads.Load())
+	}
+}
+
+// TestTieredSingleFlight: concurrent callers for both decoded forms of
+// one sub-shard coalesce to one disk read and at most one decode per
+// form.
+func TestTieredSingleFlight(t *testing.T) {
+	c := NewTiered(-1, -1)
+	var reads, decodes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			k := Key{Gen: 1, I: 3, J: 4, Flat: w%2 == 0}
+			h, err := c.GetTiered(k, rawLoad(&reads, make([]byte, 8)), sizedDecode(&decodes, 2))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			h.Release()
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if reads.Load() != 1 {
+		t.Fatalf("disk read %d times under concurrency, want 1", reads.Load())
+	}
+	if decodes.Load() != 2 {
+		t.Fatalf("decoded %d times, want 2 (one per form)", decodes.Load())
+	}
+}
+
+// TestTieredErrors: a failed disk read caches nothing anywhere; a failed
+// decode keeps the blob (the bytes are fine — the retry decodes from L2).
+func TestTieredErrors(t *testing.T) {
+	c := NewTiered(-1, -1)
+	boom := errors.New("boom")
+	var reads atomic.Int64
+	_, err := c.GetTiered(key(1, 0, 0),
+		func() ([]byte, error) { reads.Add(1); return nil, boom },
+		sizedDecode(new(atomic.Int64), 1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Stats(); st.Blocks != 0 || st.L2Blocks != 0 {
+		t.Fatalf("error cached: %+v", st)
+	}
+	_, err = c.GetTiered(key(1, 0, 0), rawLoad(&reads, make([]byte, 8)),
+		func([]byte) (any, int64, error) { return nil, 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("decode err = %v", err)
+	}
+	st := c.Stats()
+	if st.Blocks != 0 || st.L2Blocks != 1 {
+		t.Fatalf("after decode error: %+v, want blob kept, block not", st)
+	}
+	h, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, make([]byte, 8)), sizedDecode(new(atomic.Int64), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if reads.Load() != 2 {
+		t.Fatalf("reads = %d, want 2 (decode retry must hit L2)", reads.Load())
+	}
+}
+
+// TestTieredDisabledFallsBack: New() leaves the L2 tier off and GetTiered
+// degrades to plain Get semantics.
+func TestTieredDisabledFallsBack(t *testing.T) {
+	c := New(1 << 20)
+	var reads, decodes atomic.Int64
+	h, err := c.GetTiered(key(1, 0, 0), rawLoad(&reads, make([]byte, 8)), sizedDecode(&decodes, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h, err = c.GetTiered(key(1, 0, 0), rawLoad(&reads, make([]byte, 8)), sizedDecode(&decodes, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.L2Hits != 0 || st.L2Blocks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if reads.Load() != 1 || decodes.Load() != 1 {
+		t.Fatalf("reads=%d decodes=%d", reads.Load(), decodes.Load())
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		total  int64
+		frac   float64
+		l1, l2 int64
+	}{
+		{1000, 0, 750, 250},   // default split
+		{1000, 0.5, 500, 500}, // explicit
+		{1000, -1, 1000, 0},   // negative frac disables L2
+		{-1, 0.5, -1, 0},      // unlimited L1 disables L2
+		{1000, 2, 100, 900},   // clamped to 0.9
+		{0, 0.5, 0, 0},        // zero budget stays zero
+	}
+	for _, tc := range cases {
+		l1, l2 := SplitBudget(tc.total, tc.frac)
+		if l1 != tc.l1 || l2 != tc.l2 {
+			t.Errorf("SplitBudget(%d, %v) = (%d, %d), want (%d, %d)",
+				tc.total, tc.frac, l1, l2, tc.l1, tc.l2)
+		}
+	}
+}
+
+// TestTieredConcurrentChurn is the -race proof for the two-tier paths.
+func TestTieredConcurrentChurn(t *testing.T) {
+	c := NewTiered(512, 128) // both tiers under constant pressure
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 300; n++ {
+				k := Key{Gen: uint64(1 + n%3), I: n % 5, J: (n + w) % 5, Flat: n%2 == 0}
+				h, err := c.GetTiered(k,
+					func() ([]byte, error) { return make([]byte, 16), nil },
+					func(b []byte) (any, int64, error) { return b, 64, nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n%7 == 0 {
+					c.InvalidateGeneration(uint64(1 + n%3))
+				}
+				h.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.PinnedBytes != 0 || st.L2PinnedBytes != 0 {
+		t.Fatalf("pinned bytes leaked: %+v", st)
+	}
+	if st.ResidentBytes > 512 || st.L2ResidentBytes > 128 {
+		t.Fatalf("budget exceeded at rest: %+v", st)
+	}
+}
+
 func TestHitRatio(t *testing.T) {
 	if r := (Stats{}).HitRatio(); r != 0 {
 		t.Fatalf("empty ratio = %v", r)
 	}
 	if r := (Stats{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
 		t.Fatalf("ratio = %v, want 0.75", r)
+	}
+	// L2 hits dilute the ratio: they are cheaper than disk but not free.
+	if r := (Stats{Hits: 2, L2Hits: 1, Misses: 1}).HitRatio(); r != 0.5 {
+		t.Fatalf("tiered ratio = %v, want 0.5", r)
 	}
 }

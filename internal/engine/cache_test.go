@@ -1,25 +1,42 @@
 package engine_test
 
 import (
+	"fmt"
 	"testing"
 
 	"nxgraph/internal/algorithms"
 	"nxgraph/internal/engine"
 	"nxgraph/internal/gen"
+	"nxgraph/internal/graph"
+	"nxgraph/internal/storage"
 	"nxgraph/internal/testutil"
 )
 
-// TestCacheEquivalenceAcrossStrategies is the block-cache correctness
-// gate: PageRank and WCC must produce bit-identical attributes with the
-// cache unlimited, tightly budgeted (evicting mid-iteration), and
-// disabled, under SPU, DPU and MPU. The read path is the only thing the
-// cache changes, so any divergence means a stale or corrupted block.
+// TestCacheEquivalenceAcrossStrategies is the block-cache and store-
+// format correctness gate: PageRank and WCC must produce bit-identical
+// attributes on v1 and v2 stores, with the cache unlimited, tightly
+// budgeted (evicting mid-iteration), disabled, and tiered (encoded blobs
+// re-decoding on L1 misses), under SPU, DPU and MPU. The read path is
+// the only thing the cache and the encoding change, so any divergence
+// means a stale, corrupted, or mis-decoded block.
 func TestCacheEquivalenceAcrossStrategies(t *testing.T) {
 	g, err := gen.RMAT(gen.DefaultRMAT(9, 8, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, oracle := testutil.BuildStore(t, g, testutil.StoreOptions{P: 4, Transpose: true})
+	stores := []struct {
+		name string
+		st   *storage.Store
+	}{}
+	var oracle *graph.EdgeList
+	for _, f := range []int{storage.FormatV1, storage.FormatV2} {
+		st, o := testutil.BuildStore(t, g, testutil.StoreOptions{P: 4, Transpose: true, Format: f})
+		stores = append(stores, struct {
+			name string
+			st   *storage.Store
+		}{fmt.Sprintf("v%d", f), st})
+		oracle = o
+	}
 	pingPong := 2 * int64(oracle.NumVertices) * engine.Ba
 
 	strategies := []struct {
@@ -33,44 +50,51 @@ func TestCacheEquivalenceAcrossStrategies(t *testing.T) {
 	caches := []struct {
 		name       string
 		cacheBytes int64
+		l2Frac     float64
 	}{
-		{"unlimited", 0},
-		{"tiny", 4096}, // forces eviction every iteration
-		{"disabled", -1},
+		{"unlimited", 0, 0},
+		{"tiny", 4096, -1},     // forces eviction every iteration, no L2
+		{"tiny+l2", 4096, 0.5}, // misses re-decode from the encoded tier
+		{"disabled", -1, 0},
 	}
 	for _, algo := range []string{"pagerank", "wcc"} {
 		for _, sc := range strategies {
+			// One baseline per algo/strategy shared across stores and
+			// cache shapes: v1 and v2 must agree bit for bit.
 			var want []float64
-			for _, cc := range caches {
-				cfg := sc.cfg
-				cfg.CacheBytes = cc.cacheBytes
-				e, err := engine.New(st, cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				var attrs []float64
-				switch algo {
-				case "pagerank":
-					res, err := algorithms.PageRank(e, 0.85, 8)
+			for _, store := range stores {
+				for _, cc := range caches {
+					cfg := sc.cfg
+					cfg.CacheBytes = cc.cacheBytes
+					cfg.CacheL2Frac = cc.l2Frac
+					e, err := engine.New(store.st, cfg)
 					if err != nil {
-						t.Fatalf("%s/%s/%s: %v", algo, sc.name, cc.name, err)
+						t.Fatal(err)
 					}
-					attrs = res.Attrs
-				case "wcc":
-					res, err := algorithms.WCC(e)
-					if err != nil {
-						t.Fatalf("%s/%s/%s: %v", algo, sc.name, cc.name, err)
+					var attrs []float64
+					switch algo {
+					case "pagerank":
+						res, err := algorithms.PageRank(e, 0.85, 8)
+						if err != nil {
+							t.Fatalf("%s/%s/%s/%s: %v", algo, sc.name, store.name, cc.name, err)
+						}
+						attrs = res.Attrs
+					case "wcc":
+						res, err := algorithms.WCC(e)
+						if err != nil {
+							t.Fatalf("%s/%s/%s/%s: %v", algo, sc.name, store.name, cc.name, err)
+						}
+						attrs = res.Attrs
 					}
-					attrs = res.Attrs
-				}
-				if want == nil {
-					want = attrs
-					continue
-				}
-				for v := range want {
-					if attrs[v] != want[v] {
-						t.Fatalf("%s/%s: cache=%s diverges at vertex %d: %g vs %g",
-							algo, sc.name, cc.name, v, attrs[v], want[v])
+					if want == nil {
+						want = attrs
+						continue
+					}
+					for v := range want {
+						if attrs[v] != want[v] {
+							t.Fatalf("%s/%s: store=%s cache=%s diverges at vertex %d: %g vs %g",
+								algo, sc.name, store.name, cc.name, v, attrs[v], want[v])
+						}
 					}
 				}
 			}
@@ -141,6 +165,43 @@ func TestWarmRunZeroBaseReads(t *testing.T) {
 	}
 	if m := em.CacheStats().Misses; m != missesAfterCold {
 		t.Fatalf("warm MPU run re-decoded %d blocks", m-missesAfterCold)
+	}
+}
+
+// TestTieredCacheCutsDiskReads pins the L2 tier's value on the engine
+// read path: with an L1 too small for the edge set but an L2 that holds
+// every encoded blob, the second run decodes from RAM and reads zero
+// disk bytes.
+func TestTieredCacheCutsDiskReads(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(10, 8, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := testutil.BuildStore(t, g, testutil.StoreOptions{P: 4, Format: storage.FormatV2})
+	e, err := engine.New(st, engine.Config{
+		Threads:     2,
+		CacheBytes:  64 << 10, // far below the decoded edge set
+		CacheL2Frac: 0.95,     // capped to 0.9 by SplitBudget; most bytes encoded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algorithms.PageRank(e, 0.85, 3); err != nil {
+		t.Fatal(err)
+	}
+	cs := e.CacheStats()
+	if cs.L2Hits == 0 {
+		t.Fatalf("thrashing L1 never hit the encoded tier: %+v", cs)
+	}
+	if cs.L2ResidentBytes == 0 || cs.L2PinnedBytes != 0 {
+		t.Fatalf("L2 accounting at rest = %+v", cs)
+	}
+	before := st.Disk().Stats().Snapshot()
+	if _, err := algorithms.PageRank(e, 0.85, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := st.Disk().Stats().Snapshot().Sub(before); d.BytesRead != 0 {
+		t.Fatalf("second run read %d disk bytes despite a fully resident L2", d.BytesRead)
 	}
 }
 

@@ -115,6 +115,12 @@ type Config struct {
 	// negative value disables caching — blocks are held only while
 	// pinned by the running iteration's prefetch pipeline.
 	CacheBytes int64
+	// CacheL2Frac is the fraction of the block-cache budget held as
+	// encoded blobs instead of decoded blocks (see blockcache.SplitBudget):
+	// 0 picks blockcache.DefaultL2Frac, a negative value disables the
+	// encoded tier. Encoded v2 blobs are 3-4x denser, so the tier turns
+	// many would-be disk reads into in-RAM decodes.
+	CacheL2Frac float64
 	// TraceSpans bounds each run's span ring buffer (see internal/trace):
 	// 0 selects trace.DefaultCapacity, a positive value sets the bound,
 	// and a negative value disables run tracing entirely (Result.Trace is
@@ -217,12 +223,13 @@ func New(store *storage.Store, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	l1, l2 := blockcache.SplitBudget(cfg.cacheBudget(store.Meta().NumVertices), cfg.CacheL2Frac)
 	return &Engine{
 		store:    store,
 		cfg:      cfg,
 		outDeg:   out,
 		inDeg:    in,
-		cache:    blockcache.New(cfg.cacheBudget(store.Meta().NumVertices)),
+		cache:    blockcache.NewTiered(l1, l2),
 		cacheGen: blockcache.NextGeneration(),
 	}, nil
 }

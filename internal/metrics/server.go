@@ -143,6 +143,16 @@ var blockCacheMetrics = []struct {
 		func(s blockcache.Stats) int64 { return s.ResidentBytes }},
 	{"nxserve_blockcache_pinned_bytes", "Resident bytes pinned by running iterations.", "gauge",
 		func(s blockcache.Stats) int64 { return s.PinnedBytes }},
+	{"nxserve_blockcache_l2_hits_total", "Sub-shard reads decoded from the encoded-blob tier instead of disk.", "counter",
+		func(s blockcache.Stats) int64 { return s.L2Hits }},
+	{"nxserve_blockcache_l2_evictions_total", "Encoded blobs evicted to fit the L2 budget.", "counter",
+		func(s blockcache.Stats) int64 { return s.L2Evictions }},
+	{"nxserve_blockcache_l2_blocks", "Encoded sub-shard blobs resident.", "gauge",
+		func(s blockcache.Stats) int64 { return s.L2Blocks }},
+	{"nxserve_blockcache_l2_resident_bytes", "Encoded bytes held by the L2 tier.", "gauge",
+		func(s blockcache.Stats) int64 { return s.L2ResidentBytes }},
+	{"nxserve_blockcache_l2_pinned_bytes", "Encoded bytes pinned by in-flight decodes.", "gauge",
+		func(s blockcache.Stats) int64 { return s.L2PinnedBytes }},
 }
 
 // WriteBlockCachePrometheus renders a block cache snapshot in

@@ -12,6 +12,7 @@ import (
 	nxgraph "nxgraph"
 	"nxgraph/internal/blockcache"
 	"nxgraph/internal/preprocess"
+	"nxgraph/internal/storage"
 	"nxgraph/internal/wal"
 )
 
@@ -140,6 +141,10 @@ func (s *scheduler) runCompaction(ctx context.Context, e *graphEntry) (*Result, 
 		P:         meta.P,
 		Weighted:  meta.Weighted,
 		Transpose: meta.HasTranspose,
+		// Compaction always writes the current default format, so a v1
+		// store silently upgrades to the compressed encoding on its first
+		// compaction (the meta version travels with the rebuilt store).
+		Format: storage.DefaultFormatVersion,
 	})
 	if err != nil {
 		os.RemoveAll(tmpAbs)

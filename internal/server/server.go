@@ -50,6 +50,11 @@ type Config struct {
 	// negative disables caching (blocks live only while pinned by a
 	// running iteration).
 	BlockCacheBytes int64
+	// BlockCacheL2Frac is the fraction of BlockCacheBytes held as encoded
+	// sub-shard blobs instead of decoded blocks (see
+	// blockcache.SplitBudget): 0 picks the default quarter, negative
+	// disables the encoded tier.
+	BlockCacheL2Frac float64
 	// GraphOptions is applied when opening graphs via the API.
 	GraphOptions nxgraph.Options
 	// WALSync selects the ingestion write-ahead log's fsync policy:
@@ -134,7 +139,7 @@ func New(cfg Config) *Server {
 		logger = slog.Default()
 	}
 	cache := newResultCache(cfg.CacheBytes, stats)
-	blocks := blockcache.New(blockBudget)
+	blocks := blockcache.NewTiered(blockcache.SplitBudget(blockBudget, cfg.BlockCacheL2Frac))
 	walStats := &wal.Stats{}
 	walCfg := walConfig{
 		disabled: cfg.DisableWAL,

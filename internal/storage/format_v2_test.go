@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+)
+
+// canonicalSubShard builds a random sub-shard in canonical order:
+// destinations strictly ascending, sources non-descending within each
+// destination (duplicates model parallel edges). This is the order the
+// v2 gap encoding requires.
+func canonicalSubShard(rng *rand.Rand, weighted bool) *SubShard {
+	nd := rng.Intn(24)
+	ss := &SubShard{Offsets: []uint32{0}}
+	dsts := rng.Perm(1 << 20)[:nd]
+	for i := 1; i < len(dsts); i++ {
+		for j := i; j > 0 && dsts[j] < dsts[j-1]; j-- {
+			dsts[j], dsts[j-1] = dsts[j-1], dsts[j]
+		}
+	}
+	for _, d := range dsts {
+		ss.Dsts = append(ss.Dsts, uint32(d))
+		cnt := 1 + rng.Intn(7)
+		src := uint32(rng.Intn(1 << 24))
+		for c := 0; c < cnt; c++ {
+			if c > 0 && rng.Intn(4) > 0 {
+				src += uint32(rng.Intn(1 << 12))
+			} // else: repeat the source — a parallel edge, gap 0
+			ss.Srcs = append(ss.Srcs, src)
+			if weighted {
+				ss.Weights = append(ss.Weights, rng.Float32())
+			}
+		}
+		ss.Offsets = append(ss.Offsets, uint32(len(ss.Srcs)))
+	}
+	return ss
+}
+
+func sameSubShard(t *testing.T, got, want *SubShard, weighted bool) {
+	t.Helper()
+	if got.NumDsts() != want.NumDsts() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("counts: got %d/%d, want %d/%d",
+			got.NumDsts(), got.NumEdges(), want.NumDsts(), want.NumEdges())
+	}
+	for k := range want.Dsts {
+		if got.Dsts[k] != want.Dsts[k] || got.Offsets[k+1] != want.Offsets[k+1] {
+			t.Fatalf("dst %d: got (%d,%d), want (%d,%d)",
+				k, got.Dsts[k], got.Offsets[k+1], want.Dsts[k], want.Offsets[k+1])
+		}
+	}
+	for i := range want.Srcs {
+		if got.Srcs[i] != want.Srcs[i] {
+			t.Fatalf("src %d: got %d, want %d", i, got.Srcs[i], want.Srcs[i])
+		}
+		if weighted && got.Weights[i] != want.Weights[i] {
+			t.Fatalf("weight %d: got %v, want %v", i, got.Weights[i], want.Weights[i])
+		}
+	}
+	if !weighted && got.Weights != nil {
+		t.Fatal("unweighted decode materialized weights")
+	}
+}
+
+func TestEncodeDecodeV2RoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		rng := rand.New(rand.NewSource(7))
+		for iter := 0; iter < 200; iter++ {
+			ss := canonicalSubShard(rng, weighted)
+			blob := EncodeSubShardV2(ss, weighted)
+			got, err := DecodeSubShardV2(blob, weighted)
+			if err != nil {
+				t.Fatalf("weighted=%v iter=%d: %v", weighted, iter, err)
+			}
+			sameSubShard(t, got, ss, weighted)
+		}
+	}
+}
+
+// TestV2MatchesV1 decodes the same sub-shard through both codecs and
+// checks both the equivalence and that v2 actually compresses.
+func TestV2MatchesV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var v1Bytes, v2Bytes int
+	for iter := 0; iter < 50; iter++ {
+		ss := canonicalSubShard(rng, false)
+		if ss.NumEdges() == 0 {
+			continue
+		}
+		b1 := EncodeSubShard(ss, false)
+		b2 := EncodeSubShardV2(ss, false)
+		v1Bytes += len(b1)
+		v2Bytes += len(b2)
+		d1, err1 := DecodeSubShardAs(b1, false, FormatV1)
+		d2, err2 := DecodeSubShardAs(b2, false, FormatV2)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		sameSubShard(t, d2, d1, false)
+	}
+	// The fixture's gaps are deliberately large (up to 2^12); real
+	// interval-partitioned stores compress harder (the soak benchmark
+	// asserts >= 2x there), so only sanity-check 1.5x here.
+	if v2Bytes*3 > v1Bytes*2 {
+		t.Fatalf("v2 encoding is %d bytes vs %d for v1 — expected at least 1.5x compression",
+			v2Bytes, v1Bytes)
+	}
+}
+
+// TestV2RoundTripFromEdges drives the full construction path: raw edge
+// arrays -> NewSubShardFromEdges (sorts to canonical order) -> v2 encode
+// -> decode must reproduce the built sub-shard bit for bit.
+func TestV2RoundTripFromEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, weighted := range []bool{false, true} {
+		for iter := 0; iter < 50; iter++ {
+			n := 1 + rng.Intn(200)
+			srcs := make([]uint32, n)
+			dsts := make([]uint32, n)
+			var ws []float32
+			if weighted {
+				ws = make([]float32, n)
+			}
+			for i := range srcs {
+				srcs[i] = uint32(rng.Intn(64)) // few distinct ids: parallel edges likely
+				dsts[i] = uint32(rng.Intn(64))
+				if weighted {
+					ws[i] = rng.Float32()
+				}
+			}
+			ss := NewSubShardFromEdges(srcs, dsts, ws)
+			blob := EncodeSubShardV2(ss, weighted)
+			got, err := DecodeSubShardV2(blob, weighted)
+			if err != nil {
+				t.Fatalf("weighted=%v iter=%d: %v", weighted, iter, err)
+			}
+			sameSubShard(t, got, ss, weighted)
+		}
+	}
+}
+
+func TestDecodeV2RejectsCorruptBlobs(t *testing.T) {
+	ss := canonicalSubShard(rand.New(rand.NewSource(3)), false)
+	for ss.NumEdges() < 4 {
+		ss = canonicalSubShard(rand.New(rand.NewSource(4)), false)
+	}
+	blob := EncodeSubShardV2(ss, false)
+	if _, err := DecodeSubShardV2(nil, false); err == nil {
+		t.Fatal("empty blob should fail")
+	}
+	if _, err := DecodeSubShardV2(blob[:len(blob)/2], false); err == nil {
+		t.Fatal("truncated blob should fail")
+	}
+	if _, err := DecodeSubShardV2(append(append([]byte{}, blob...), 0), false); err == nil {
+		t.Fatal("trailing garbage should fail")
+	}
+	// A huge declared dst count must be rejected before allocation.
+	if _, err := DecodeSubShardV2([]byte{0xff, 0xff, 0xff, 0xff, 0x0f, 0x01, 0x01}, false); err == nil {
+		t.Fatal("hostile dst count should fail")
+	}
+}
+
+// TestEmptyAndSingleEdgeV2 covers the degenerate shapes explicitly (the
+// fuzz corpus seeds the same cases).
+func TestEmptyAndSingleEdgeV2(t *testing.T) {
+	empty := &SubShard{Offsets: []uint32{0}}
+	got, err := DecodeSubShardV2(EncodeSubShardV2(empty, false), false)
+	if err != nil || got.NumDsts() != 0 || got.NumEdges() != 0 {
+		t.Fatalf("empty: %+v, %v", got, err)
+	}
+	one := &SubShard{Dsts: []uint32{4294967295}, Offsets: []uint32{0, 1}, Srcs: []uint32{4294967295}}
+	got, err = DecodeSubShardV2(EncodeSubShardV2(one, false), false)
+	if err != nil || got.Dsts[0] != 4294967295 || got.Srcs[0] != 4294967295 {
+		t.Fatalf("max-id single edge: %+v, %v", got, err)
+	}
+}
+
+// setMaxSupportedVersion simulates a build capped at an older format.
+func setMaxSupportedVersion(t *testing.T, v int) {
+	t.Helper()
+	old := maxSupportedVersion
+	maxSupportedVersion = v
+	t.Cleanup(func() { maxSupportedVersion = old })
+}
+
+// TestOpenRejectsNewerVersionCleanly opens a v2 store with a build
+// capped at v1: the error must name the path, the found and supported
+// versions, and the nxpre remedy — and no shard byte may be read.
+func TestOpenRejectsNewerVersionCleanly(t *testing.T) {
+	disk, st := buildTinyStore(t, false) // default format = v2
+	st.Close()
+	disk.ResetStats()
+
+	setMaxSupportedVersion(t, FormatV1)
+	_, err := Open(disk, "st")
+	if err == nil {
+		t.Fatal("v1-capped build opened a v2 store")
+	}
+	msg := err.Error()
+	for _, want := range []string{disk.Path("st"), "version 2", "v1..v1", "nxpre -format"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+	if got := disk.Stats().Snapshot().BytesRead; got != 0 {
+		t.Fatalf("rejected open still read %d bytes from the store", got)
+	}
+}
+
+// TestOpenRejectsMixedShardVersion corrupts the shard header version so
+// it disagrees with meta.json.
+func TestOpenRejectsMixedShardVersion(t *testing.T) {
+	disk, st := buildTinyStore(t, false)
+	st.Close()
+	path := disk.Path("st/" + ShardsFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4] = 1 // header says v1, meta says v2
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(disk, "st")
+	if err == nil {
+		t.Fatal("mixed-version store accepted")
+	}
+	if !strings.Contains(err.Error(), ShardsFile) || !strings.Contains(err.Error(), "meta.json says 2") {
+		t.Fatalf("unhelpful mixed-version error: %v", err)
+	}
+}
+
+// TestV1StoreStillReadable writes a v1 store and reads it back through
+// the dispatching path.
+func TestV1StoreStillReadable(t *testing.T) {
+	_, st := buildTinyStoreFormat(t, true, FormatV1)
+	if st.Meta().Version != FormatV1 {
+		t.Fatalf("meta version %d", st.Meta().Version)
+	}
+	ss, err := st.ReadSubShard(0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumEdges() != 1 || ss.Dsts[0] != 2 || ss.Weights[0] != 2 {
+		t.Fatalf("SS[0][1]: %+v", ss)
+	}
+	if err := Verify(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionRatio checks the accounting helper on both formats.
+func TestCompressionRatio(t *testing.T) {
+	_, v1 := buildTinyStoreFormat(t, false, FormatV1)
+	enc, fixed := v1.CompressionRatio()
+	if enc != fixed {
+		t.Fatalf("v1 store: encoded %d != fixed-width %d", enc, fixed)
+	}
+	_, v2 := buildTinyStore(t, false)
+	enc, fixed = v2.CompressionRatio()
+	if enc >= fixed || enc <= 0 {
+		t.Fatalf("v2 store: encoded %d, fixed-width %d — expected compression", enc, fixed)
+	}
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUvarint32 round-trips the varint codec and cross-checks the
+// decoder against re-encoding.
+func FuzzUvarint32(f *testing.F) {
+	for _, v := range []uint32{0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 1 << 21, 1 << 28, 1<<32 - 1} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint32) {
+		buf := appendUvarint(nil, v)
+		if len(buf) > maxUvarint32Len {
+			t.Fatalf("%d encoded to %d bytes", v, len(buf))
+		}
+		got, p := uvarint32(buf, 0)
+		if p != len(buf) || got != v {
+			t.Fatalf("round trip of %d: got %d, consumed %d of %d", v, got, p, len(buf))
+		}
+		// Every truncation ends on a continuation byte (or is empty), so
+		// all of them must fail rather than read out of bounds.
+		for cut := 0; cut < len(buf); cut++ {
+			if _, p := uvarint32(buf[:cut], 0); p >= 0 {
+				t.Fatalf("truncated encoding of %d (len %d) decoded", v, cut)
+			}
+		}
+	})
+}
+
+// fuzzSeedBlobs is the corpus the issue calls for: empty, single-edge,
+// hub-shaped (one destination, many sources) and max-id sub-shards.
+func fuzzSeedBlobs(weighted bool) [][]byte {
+	hub := &SubShard{Dsts: []uint32{42}, Offsets: []uint32{0, 64}}
+	for i := 0; i < 64; i++ {
+		hub.Srcs = append(hub.Srcs, uint32(i*i))
+		if weighted {
+			hub.Weights = append(hub.Weights, float32(i))
+		}
+	}
+	shards := []*SubShard{
+		{Offsets: []uint32{0}},
+		{Dsts: []uint32{7}, Offsets: []uint32{0, 1}, Srcs: []uint32{3}, Weights: wts(weighted, 0.5)},
+		hub,
+		{Dsts: []uint32{1<<32 - 1}, Offsets: []uint32{0, 2}, Srcs: []uint32{1<<32 - 1, 1<<32 - 1},
+			Weights: func() []float32 {
+				if weighted {
+					return []float32{1, 2}
+				}
+				return nil
+			}()},
+	}
+	var out [][]byte
+	for _, ss := range shards {
+		out = append(out, EncodeSubShardV2(ss, weighted))
+	}
+	return out
+}
+
+// FuzzDecodeSubShardV2 throws arbitrary bytes at the v2 decoder: it must
+// never panic, and whatever it accepts must re-encode to the identical
+// blob (a canonical-order sub-shard has exactly one v2 encoding).
+func FuzzDecodeSubShardV2(f *testing.F) {
+	for _, weighted := range []bool{false, true} {
+		for _, blob := range fuzzSeedBlobs(weighted) {
+			f.Add(blob, weighted)
+		}
+	}
+	f.Fuzz(func(t *testing.T, blob []byte, weighted bool) {
+		ss, err := DecodeSubShardV2(blob, weighted)
+		if err != nil {
+			return
+		}
+		// Structural invariants the decoder promises.
+		if len(ss.Offsets) != len(ss.Dsts)+1 || int(ss.Offsets[len(ss.Dsts)]) != len(ss.Srcs) {
+			t.Fatalf("inconsistent shape: %d dsts, %d offsets, %d srcs",
+				len(ss.Dsts), len(ss.Offsets), len(ss.Srcs))
+		}
+		for k := 1; k < len(ss.Dsts); k++ {
+			if ss.Dsts[k] <= ss.Dsts[k-1] {
+				t.Fatalf("dsts not strictly ascending at %d", k)
+			}
+		}
+		for k := range ss.Dsts {
+			for t2 := ss.Offsets[k] + 1; t2 < ss.Offsets[k+1]; t2++ {
+				if ss.Srcs[t2] < ss.Srcs[t2-1] {
+					t.Fatalf("srcs of dst %d descend at %d", k, t2)
+				}
+			}
+		}
+		re := EncodeSubShardV2(ss, weighted)
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("accepted blob is not canonical: decode/encode changed %d -> %d bytes",
+				len(blob), len(re))
+		}
+	})
+}

@@ -113,7 +113,7 @@ func TestMetaIntervals(t *testing.T) {
 }
 
 func TestMetaValidate(t *testing.T) {
-	good := Meta{Magic: MetaMagic, Version: FormatVersion, NumVertices: 4,
+	good := Meta{Magic: MetaMagic, Version: DefaultFormatVersion, NumVertices: 4,
 		NumEdges: 0, P: 2, SubShards: make([]SubShardInfo, 4)}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
@@ -141,9 +141,13 @@ func TestMetaValidate(t *testing.T) {
 }
 
 func buildTinyStore(t *testing.T, weighted bool) (*diskio.Disk, *Store) {
+	return buildTinyStoreFormat(t, weighted, DefaultFormatVersion)
+}
+
+func buildTinyStoreFormat(t *testing.T, weighted bool, format int) (*diskio.Disk, *Store) {
 	t.Helper()
 	disk := diskio.MustNew(t.TempDir(), diskio.Unthrottled)
-	w, err := NewWriter(disk, "st", "tiny", 4, 3, 2, weighted)
+	w, err := NewWriterFormat(disk, "st", "tiny", 4, 3, 2, weighted, format)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +385,9 @@ func TestVerifyAcceptsGoodStore(t *testing.T) {
 }
 
 func TestVerifyCatchesCorruption(t *testing.T) {
-	disk, st := buildTinyStore(t, false)
+	// Pinned to v1: the corruption below patches a fixed-width blob
+	// offset that only exists in the v1 layout.
+	disk, st := buildTinyStoreFormat(t, false, FormatV1)
 	st.Close()
 	// Flip a source id inside the first non-empty sub-shard blob: the
 	// blob still decodes but the edge moves out of its source interval

@@ -35,13 +35,16 @@ func Open(disk *diskio.Disk, dir string) (*Store, error) {
 		return nil, fmt.Errorf("storage: parse meta: %w", err)
 	}
 	if err := meta.Validate(); err != nil {
-		return nil, err
+		// A build capped at an older format must fail before any shard
+		// byte is read — the version error names the offending path here
+		// and the store's files stay untouched (no partial reads).
+		return nil, fmt.Errorf("storage: open %s: %w", disk.Path(dir), err)
 	}
 	s := &Store{disk: disk, dir: dir, meta: meta}
 	if s.shards, err = disk.Open(dir + "/" + ShardsFile); err != nil {
 		return nil, err
 	}
-	if err := checkShardHeader(s.shards); err != nil {
+	if err := checkShardHeader(s.shards, disk.Path(dir+"/"+ShardsFile), meta.Version); err != nil {
 		s.shards.Close()
 		return nil, err
 	}
@@ -50,7 +53,7 @@ func Open(disk *diskio.Disk, dir string) (*Store, error) {
 			s.shards.Close()
 			return nil, err
 		}
-		if err := checkShardHeader(s.tshards); err != nil {
+		if err := checkShardHeader(s.tshards, disk.Path(dir+"/"+TShardsFile), meta.Version); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -58,16 +61,21 @@ func Open(disk *diskio.Disk, dir string) (*Store, error) {
 	return s, nil
 }
 
-func checkShardHeader(f *diskio.File) error {
+// checkShardHeader verifies a shard file's magic and that its embedded
+// format version matches the meta document's (the two are written
+// together; disagreement means a corrupt or hand-mixed store).
+func checkShardHeader(f *diskio.File, path string, version int) error {
 	var hdr [8]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		return fmt.Errorf("storage: read shard header: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != ShardMagic {
-		return fmt.Errorf("storage: shard file magic %#x, want %#x", got, ShardMagic)
+		return fmt.Errorf("storage: %s: shard file magic %#x, want %#x", path, got, ShardMagic)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != FormatVersion {
-		return fmt.Errorf("storage: shard file version %d, want %d", v, FormatVersion)
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != uint32(version) {
+		return fmt.Errorf("storage: %s: shard file format version %d, meta.json says %d"+
+			" — store is corrupt or mixed; rebuild it with `nxpre -format %d`",
+			path, v, version, version)
 	}
 	return nil
 }
@@ -99,9 +107,26 @@ func (s *Store) Disk() *diskio.Disk { return s.disk }
 // Dir returns the store's directory (disk-relative).
 func (s *Store) Dir() string { return s.dir }
 
-// ReadSubShard loads SS[i][j]. With transpose set it reads from the
-// transposed replica (whose [i][j] is the transpose matrix's own indexing).
+// ReadSubShard loads and decodes SS[i][j]. With transpose set it reads
+// from the transposed replica (whose [i][j] is the transpose matrix's
+// own indexing).
 func (s *Store) ReadSubShard(i, j int, transpose bool) (*SubShard, error) {
+	blob, err := s.ReadSubShardRaw(i, j, transpose)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := s.DecodeSubShardBlob(blob)
+	if err != nil {
+		return nil, fmt.Errorf("storage: SS[%d][%d]: %w", i, j, err)
+	}
+	return ss, nil
+}
+
+// ReadSubShardRaw reads SS[i][j]'s encoded blob without decoding it —
+// the unit the block cache's L2 tier holds (a v2 blob is 3–4× denser
+// than its decoded arrays). Empty sub-shards return a nil blob and cost
+// no disk read. The blob's format version is the store's Meta().Version.
+func (s *Store) ReadSubShardRaw(i, j int, transpose bool) ([]byte, error) {
 	P := s.meta.P
 	if i < 0 || i >= P || j < 0 || j >= P {
 		return nil, fmt.Errorf("storage: sub-shard (%d,%d) out of range P=%d", i, j, P)
@@ -115,17 +140,23 @@ func (s *Store) ReadSubShard(i, j int, transpose bool) (*SubShard, error) {
 	}
 	info := infos[i*P+j]
 	if info.Length == 0 {
-		return &SubShard{Offsets: []uint32{0}}, nil
+		return nil, nil
 	}
 	buf := make([]byte, info.Length)
 	if _, err := f.ReadAt(buf, info.Offset); err != nil {
 		return nil, fmt.Errorf("storage: read SS[%d][%d]: %w", i, j, err)
 	}
-	ss, err := DecodeSubShard(buf, s.meta.Weighted)
-	if err != nil {
-		return nil, fmt.Errorf("storage: SS[%d][%d]: %w", i, j, err)
+	return buf, nil
+}
+
+// DecodeSubShardBlob decodes a blob returned by ReadSubShardRaw in the
+// store's format version. A nil (empty sub-shard) blob decodes to the
+// canonical empty sub-shard.
+func (s *Store) DecodeSubShardBlob(blob []byte) (*SubShard, error) {
+	if len(blob) == 0 {
+		return &SubShard{Offsets: []uint32{0}}, nil
 	}
-	return ss, nil
+	return DecodeSubShardAs(blob, s.meta.Weighted, s.meta.Version)
 }
 
 // Degrees reads the degree file: out-degrees then in-degrees, each n
@@ -198,6 +229,27 @@ func (s *Store) EdgeBytesOnDisk(transpose bool) int64 {
 		total += info.Length
 	}
 	return total
+}
+
+// CompressionRatio reports the store's total encoded sub-shard bytes
+// (both replicas) against what the FormatV1 fixed-width encoding of the
+// same sub-shards would occupy — the factor every cold read saves. For
+// a v1 store the two are equal.
+func (s *Store) CompressionRatio() (encoded, fixedWidth int64) {
+	infoSets := [][]SubShardInfo{s.meta.SubShards}
+	if s.meta.HasTranspose {
+		infoSets = append(infoSets, s.meta.TSubShards)
+	}
+	for _, infos := range infoSets {
+		for _, info := range infos {
+			if info.Length == 0 {
+				continue
+			}
+			encoded += info.Length
+			fixedWidth += encodedSize(int(info.Dsts), int(info.Edges), s.meta.Weighted)
+		}
+	}
+	return encoded, fixedWidth
 }
 
 // ForEachEdge streams every edge of the (forward) graph in physical

@@ -1,0 +1,62 @@
+package storage
+
+// Unsigned LEB128 varints, the integer encoding of format-v2 sub-shard
+// blobs (see EncodeSubShardV2). The decoder here is hand-tuned for the
+// blob decode loop: values in a delta-encoded sub-shard are overwhelmingly
+// one byte (a destination gap, a per-destination count of 1–3, a small
+// source gap), so the single-byte case is a compare-and-return fast path
+// and the multi-byte continuation lives in a separate, rarely-taken
+// function that stays out of the hot path's inlining budget.
+
+// maxUvarint32Len is the longest encoding of a uint32 (5 × 7 bits).
+const maxUvarint32Len = 5
+
+// appendUvarint appends v's LEB128 encoding to buf.
+func appendUvarint(buf []byte, v uint32) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// uvarint32 decodes one varint at offset p of b, returning the value and
+// the offset past it. A truncated, uint32-overflowing or non-minimal
+// (zero-padded) encoding returns a negative offset — rejecting padding
+// means every value has exactly one accepted encoding, so any blob the
+// v2 decoder accepts re-encodes byte-identically. The common single-byte
+// case is the only code a caller's loop executes; everything else
+// tail-calls uvarint32Slow.
+func uvarint32(b []byte, p int) (uint32, int) {
+	if uint(p) < uint(len(b)) {
+		if c := b[p]; c < 0x80 {
+			return uint32(c), p + 1
+		}
+	}
+	return uvarint32Slow(b, p)
+}
+
+// uvarint32Slow handles multi-byte encodings, truncation and overflow.
+func uvarint32Slow(b []byte, p int) (uint32, int) {
+	var v uint32
+	var shift uint
+	for i := 0; i < maxUvarint32Len; i++ {
+		if uint(p) >= uint(len(b)) {
+			return 0, -1
+		}
+		c := b[p]
+		p++
+		if c < 0x80 {
+			if i == maxUvarint32Len-1 && c > 0x0f {
+				return 0, -1 // bits 32+ set: not a uint32
+			}
+			if c == 0 && i > 0 {
+				return 0, -1 // zero-padded: a shorter encoding exists
+			}
+			return v | uint32(c)<<shift, p
+		}
+		v |= uint32(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, -1 // 5 continuation bytes: not a uint32
+}

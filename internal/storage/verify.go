@@ -33,6 +33,15 @@ func Verify(s *Store) error {
 				return fmt.Errorf("storage: verify SS[%d][%d]: counts %d/%d, index says %d/%d",
 					i, j, ss.NumEdges(), ss.NumDsts(), info.Edges, info.Dsts)
 			}
+			// Re-encoding the decoded sub-shard must reproduce the indexed
+			// blob length exactly — a canonical-order sub-shard has one v2
+			// encoding, so drift between writer and codec shows up here.
+			if info.Length > 0 {
+				if got := int64(len(EncodeSubShardAs(ss, m.Weighted, m.Version))); got != info.Length {
+					return fmt.Errorf("storage: verify SS[%d][%d]: re-encodes to %d bytes, index says %d",
+						i, j, got, info.Length)
+				}
+			}
 			ilo, ihi := m.IntervalRange(i)
 			jlo, jhi := m.IntervalRange(j)
 			var prevDst int64 = -1

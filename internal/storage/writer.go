@@ -26,17 +26,27 @@ type Writer struct {
 	finished  bool
 }
 
-// NewWriter creates (truncating) a store at dir.
+// NewWriter creates (truncating) a store at dir in the default format.
 func NewWriter(disk *diskio.Disk, dir, name string, numVertices uint32, numEdges int64, p int, weighted bool) (*Writer, error) {
+	return NewWriterFormat(disk, dir, name, numVertices, numEdges, p, weighted, DefaultFormatVersion)
+}
+
+// NewWriterFormat is NewWriter with an explicit store format version
+// (FormatV1 keeps the fixed-width layout readable by older builds).
+func NewWriterFormat(disk *diskio.Disk, dir, name string, numVertices uint32, numEdges int64, p int, weighted bool, format int) (*Writer, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("storage: P must be positive, got %d", p)
+	}
+	if format < FormatV1 || format > maxSupportedVersion {
+		return nil, fmt.Errorf("storage: cannot write format version %d (valid: %d..%d)",
+			format, FormatV1, maxSupportedVersion)
 	}
 	if err := os.MkdirAll(disk.Path(dir), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create store dir: %w", err)
 	}
 	w := &Writer{disk: disk, dir: dir, meta: Meta{
 		Magic:       MetaMagic,
-		Version:     FormatVersion,
+		Version:     format,
 		Name:        name,
 		NumVertices: numVertices,
 		NumEdges:    numEdges,
@@ -59,7 +69,7 @@ func NewWriter(disk *diskio.Disk, dir, name string, numVertices uint32, numEdges
 func (w *Writer) writeHeader() error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], ShardMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(w.meta.Version))
 	if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
 		return fmt.Errorf("storage: write shard header: %w", err)
 	}
@@ -83,7 +93,7 @@ func (w *Writer) AppendSubShard(ss *SubShard) error {
 	}
 	info := SubShardInfo{Edges: int64(ss.NumEdges()), Dsts: int64(ss.NumDsts())}
 	if ss.NumDsts() > 0 {
-		blob := EncodeSubShard(ss, w.meta.Weighted)
+		blob := EncodeSubShardAs(ss, w.meta.Weighted, w.meta.Version)
 		if _, err := w.f.WriteAt(blob, w.off); err != nil {
 			return fmt.Errorf("storage: write sub-shard: %w", err)
 		}

@@ -3,6 +3,8 @@
 package testutil
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"nxgraph/internal/diskio"
@@ -45,6 +47,26 @@ type StoreOptions struct {
 	Weighted  bool
 	Transpose bool
 	Profile   diskio.Profile
+	// Format selects the store encoding (storage.FormatV1/FormatV2). 0
+	// defers to the NXGRAPH_TEST_FORMAT environment variable — CI's
+	// format-matrix knob — and, when that is unset, to
+	// storage.DefaultFormatVersion.
+	Format int
+}
+
+// format resolves the store encoding for a test build.
+func (o StoreOptions) format(t testing.TB) int {
+	if o.Format != 0 {
+		return o.Format
+	}
+	if env := os.Getenv("NXGRAPH_TEST_FORMAT"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("bad NXGRAPH_TEST_FORMAT %q: %v", env, err)
+		}
+		return v
+	}
+	return storage.DefaultFormatVersion
 }
 
 // BuildStore preprocesses g into a store on a fresh temp disk. It returns
@@ -67,6 +89,7 @@ func BuildStore(t testing.TB, g *graph.EdgeList, opt StoreOptions) (*storage.Sto
 		P:         opt.P,
 		Weighted:  opt.Weighted,
 		Transpose: opt.Transpose,
+		Format:    opt.format(t),
 	})
 	if err != nil {
 		t.Fatalf("preprocess: %v", err)

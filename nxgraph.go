@@ -116,11 +116,24 @@ const (
 	MPU = engine.MPU
 )
 
+// Store format versions for Options.Format.
+const (
+	// FormatV1 is the fixed-width uint32 sub-shard encoding.
+	FormatV1 = storage.FormatV1
+	// FormatV2 is the delta+varint compressed encoding (the default):
+	// 3-4x fewer bytes per edge on disk and in the encoded cache tier.
+	FormatV2 = storage.FormatV2
+)
+
 // Options configures Build and Open.
 type Options struct {
 	// P is the number of vertex intervals (default 12, the paper's
 	// sweet spot).
 	P int
+	// Format selects the on-disk sub-shard encoding written by Build
+	// (FormatV1 or FormatV2); 0 picks the current default, FormatV2.
+	// Open reads either format regardless of this setting.
+	Format int
 	// Threads sizes the worker pool (default GOMAXPROCS).
 	Threads int
 	// MemoryBudget is BM in bytes; 0 means unlimited (SPU with all
@@ -131,6 +144,12 @@ type Options struct {
 	// MemoryBudget (unlimited when MemoryBudget is 0), a positive value
 	// sets it in bytes, and a negative value disables caching.
 	CacheBytes int64
+	// CacheL2Frac is the fraction of the cache budget held as encoded
+	// blobs rather than decoded blocks: an L1 miss whose blob is still
+	// resident re-decodes from RAM instead of re-reading from disk.
+	// 0 picks the default split (a quarter); negative disables the
+	// encoded tier.
+	CacheL2Frac float64
 	// Strategy overrides adaptive strategy selection.
 	Strategy Strategy
 	// LockSync switches worker synchronization from conflict-free
@@ -172,6 +191,7 @@ func (o Options) engineConfig() engine.Config {
 		Threads:      o.Threads,
 		MemoryBudget: o.MemoryBudget,
 		CacheBytes:   o.CacheBytes,
+		CacheL2Frac:  o.CacheL2Frac,
 		Strategy:     o.Strategy,
 		Sync:         sync,
 		TraceSpans:   o.TraceSpans,
@@ -198,6 +218,7 @@ func Build(dir string, g *EdgeList, opt Options) (*Graph, error) {
 		P:         opt.p(),
 		Weighted:  opt.Weighted,
 		Transpose: opt.Transpose,
+		Format:    opt.Format,
 	})
 	if err != nil {
 		return nil, err
@@ -226,6 +247,7 @@ func BuildFromFile(dir, path string, opt Options) (*Graph, error) {
 		P:         opt.p(),
 		Weighted:  opt.Weighted,
 		Transpose: opt.Transpose,
+		Format:    opt.Format,
 	})
 	if err != nil {
 		return nil, err
